@@ -1,0 +1,266 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// U-tree paper's evaluation (Section 6), plus the DESIGN.md ablations.
+// Each benchmark regenerates its experiment at a reduced dataset scale and
+// reports the paper's metrics as custom benchmark outputs
+// (node-accesses/query, prob-computations/query, era-model seconds, …).
+//
+// Paper-scale runs: `go run ./cmd/ubench -experiment all -scale 1`.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// benchConfig keeps `go test -bench=.` tractable while preserving shapes.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Scale:     0.01,
+		Queries:   10,
+		MCSamples: 1000,
+		Seed:      42,
+	}
+}
+
+// BenchmarkFig7MonteCarlo regenerates Figure 7: monte-carlo error and
+// per-computation cost versus sample count n1.
+func BenchmarkFig7MonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(benchConfig(), []int{1000, 10000, 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(100*last.Err2D, "%err-2D@n1max")
+			b.ReportMetric(100*last.Err3D, "%err-3D@n1max")
+			b.ReportMetric(float64(last.CostPerComp.Microseconds()), "µs/prob-comp")
+		}
+	}
+}
+
+// BenchmarkFig8CatalogSize regenerates Figure 8: U-PCR query cost versus
+// catalog size m.
+func BenchmarkFig8CatalogSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig8(benchConfig(), []int{3, 6, 9, 12}, []float64{0.3, 0.6, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				if p.Dataset == dataset.LB {
+					b.ReportMetric(p.Cost.TotalCostSec, "LB-cost@m"+itoa(p.M))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Size regenerates Table 1: index sizes of the U-tree versus
+// U-PCR.
+func BenchmarkTable1Size(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.UPCRBytes)/float64(r.UTreeBytes), string(r.Dataset)+"-size-ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9QuerySize regenerates Figure 9: cost versus query extent qs
+// at pq = 0.6 (all datasets, both structures).
+func BenchmarkFig9QuerySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig9(benchConfig(), []float64{500, 1500, 2500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSweep(b, points)
+		}
+	}
+}
+
+// BenchmarkFig10Threshold regenerates Figure 10: cost versus probability
+// threshold pq at qs = 1500.
+func BenchmarkFig10Threshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig10(benchConfig(), []float64{0.3, 0.6, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSweep(b, points)
+		}
+	}
+}
+
+// BenchmarkFig11Updates regenerates Figure 11: per-insertion and
+// per-deletion overhead of the U-tree.
+func BenchmarkFig11Updates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.InsertIOCostSec+r.InsertCPUSec, string(r.Dataset)+"-ins-s/op")
+				b.ReportMetric(r.DeleteIOCostSec+r.DeleteCPUSec, string(r.Dataset)+"-del-s/op")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSplit compares split strategies (DESIGN.md §7).
+func BenchmarkAblationSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationSplit(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(p.Metrics.NodeAccesses, metricUnit(p.Label)+"-io/query")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationReinsert compares forced reinsertion on/off.
+func BenchmarkAblationReinsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationReinsert(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(p.Metrics.NodeAccesses, metricUnit(p.Label)+"-io/query")
+			}
+		}
+	}
+}
+
+// metricUnit strips characters testing.B forbids in metric units.
+func metricUnit(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch r {
+		case ' ', '(', ')':
+			// skip
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkAblationCatalog sweeps the U-tree catalog size.
+func BenchmarkAblationCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCatalog(benchConfig(), []int{5, 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCFB compares CFB vs PCR entries at equal catalog size.
+func BenchmarkAblationCFB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCFB(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsert measures raw per-object insertion throughput of the
+// U-tree (PCR computation + simplex CFB fitting + tree descent).
+func BenchmarkInsert(b *testing.B) {
+	objs := dataset.Generate(dataset.Config{Name: dataset.LB, Scale: 0.5, Seed: 1})
+	tree, err := core.New(core.Options{Dim: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := objs[i%len(objs)]
+		o.ID = int64(i) // unique ids as the bench loops past the dataset
+		if err := tree.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuery measures raw prob-range query latency against a built
+// U-tree (LB, qs=1000, pq=0.6).
+func BenchmarkQuery(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.05
+	objs := dataset.Generate(dataset.Config{Name: dataset.LB, Scale: cfg.Scale, Seed: 1})
+	tree, err := core.New(core.Options{Dim: 2, MCSamples: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := tree.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := benchQueries(objs, 1000, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tree.RangeQuery(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchQueries builds a simple query mix whose centers follow the data.
+func benchQueries(objs []core.Object, qs, pq float64) []core.Query {
+	centers := make([]geom.Point, len(objs))
+	for i, o := range objs {
+		centers[i] = o.PDF.Center()
+	}
+	w := workload.New(workload.Config{
+		QS: qs, PQ: pq, Count: 50, Seed: 3,
+		Domain: dataset.Domain, Centers: centers,
+	})
+	return w.Queries
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func reportSweep(b *testing.B, points []experiments.SweepPoint) {
+	var ut, up float64
+	for _, p := range points {
+		if p.Kind == core.UTree {
+			ut += p.Metrics.NodeAccesses
+		} else {
+			up += p.Metrics.NodeAccesses
+		}
+	}
+	b.ReportMetric(ut, "utree-io-total")
+	b.ReportMetric(up, "upcr-io-total")
+}

@@ -1,0 +1,209 @@
+// Command utreectl builds, inspects, verifies and queries file-backed
+// U-tree indexes.
+//
+//	utreectl build  -index /tmp/lb.utree -dataset LB -scale 0.05
+//	utreectl stats  -index /tmp/lb.utree
+//	utreectl verify -index /tmp/lb.utree
+//	utreectl query  -index /tmp/lb.utree -rect 1000,1000,2000,2000 -prob 0.7
+//	utreectl nn     -index /tmp/lb.utree -point 5000,5000 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/uncertain"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		index = fs.String("index", "", "index file path (required)")
+		ds    = fs.String("dataset", "LB", "dataset for build: LB|CA|Aircraft")
+		scale = fs.Float64("scale", 0.05, "dataset scale for build")
+		rect  = fs.String("rect", "", "query rectangle lo1,lo2[,lo3],hi1,hi2[,hi3]")
+		prob  = fs.Float64("prob", 0.5, "query probability threshold")
+		point = fs.String("point", "", "query point for nn: x1,x2[,x3]")
+		k     = fs.Int("k", 5, "neighbor count for nn")
+		upcr  = fs.Bool("upcr", false, "build the U-PCR variant instead")
+	)
+	fs.Parse(os.Args[2:])
+	if *index == "" {
+		fmt.Fprintln(os.Stderr, "missing -index")
+		usage()
+	}
+
+	var err error
+	switch cmd {
+	case "build":
+		err = build(*index, dataset.Name(*ds), *scale, *upcr)
+	case "stats":
+		err = stats(*index)
+	case "verify":
+		err = verify(*index)
+	case "query":
+		err = query(*index, *rect, *prob)
+	case "nn":
+		err = nearest(*index, *point, *k)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "utreectl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: utreectl build|stats|verify|query|nn -index PATH [flags]")
+	os.Exit(2)
+}
+
+func build(path string, name dataset.Name, scale float64, upcr bool) error {
+	objs := dataset.Generate(dataset.Config{Name: name, Scale: scale})
+	tree, err := uncertain.NewTree(uncertain.Config{
+		Dimensions: name.Dim(),
+		Path:       path,
+		UPCR:       upcr,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, o := range objs {
+		if err := tree.Insert(o.ID, o.PDF); err != nil {
+			tree.Close()
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := tree.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("built %s over %s (%d objects) in %v → %s\n",
+		kindName(upcr), name, len(objs), elapsed.Round(time.Millisecond), path)
+	return nil
+}
+
+func kindName(upcr bool) string {
+	if upcr {
+		return "U-PCR"
+	}
+	return "U-tree"
+}
+
+func stats(path string) error {
+	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("objects:   %d\n", tree.Len())
+	fmt.Printf("height:    %d levels\n", tree.Height())
+	fmt.Printf("file size: %d bytes\n", fi.Size())
+	return nil
+}
+
+func verify(path string) error {
+	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+	if err := tree.CheckInvariants(); err != nil {
+		return err
+	}
+	fmt.Println("ok: all structural and containment invariants hold")
+	return nil
+}
+
+func query(path, rectSpec string, prob float64) error {
+	if rectSpec == "" {
+		return fmt.Errorf("missing -rect")
+	}
+	parts := strings.Split(rectSpec, ",")
+	if len(parts)%2 != 0 {
+		return fmt.Errorf("rect needs an even number of coordinates, got %d", len(parts))
+	}
+	d := len(parts) / 2
+	coords := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		coords[i] = v
+	}
+	rq := geom.NewRect(coords[:d], coords[d:])
+
+	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+	start := time.Now()
+	results, s, err := tree.Search(rq, prob)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d results in %v (node accesses %d, prob computations %d, validated %d, refinement IOs %d)\n",
+		len(results), time.Since(start).Round(time.Microsecond),
+		s.NodeAccesses, s.ProbComputations, s.Validated, s.RefinementIOs)
+	for i, r := range results {
+		if i == 20 {
+			fmt.Printf("  … %d more\n", len(results)-20)
+			break
+		}
+		if r.Validated {
+			fmt.Printf("  object %d (validated without probability computation)\n", r.ID)
+		} else {
+			fmt.Printf("  object %d (P_app = %.4f)\n", r.ID, r.Prob)
+		}
+	}
+	return nil
+}
+
+func nearest(path, pointSpec string, k int) error {
+	if pointSpec == "" {
+		return fmt.Errorf("missing -point")
+	}
+	parts := strings.Split(pointSpec, ",")
+	q := make(geom.Point, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		q[i] = v
+	}
+	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+	start := time.Now()
+	nns, s, err := tree.NearestNeighbors(q, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d nearest neighbors of %v in %v (node accesses %d, distance computations %d)\n",
+		len(nns), q, time.Since(start).Round(time.Microsecond), s.NodeAccesses, s.DistanceComps)
+	for rank, n := range nns {
+		fmt.Printf("  #%d object %d  E[dist] = %.2f\n", rank+1, n.ID, n.ExpectedDist)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BulkLoad builds the index bottom-up from a dataset using Sort-Tile-
+// Recursive (STR) packing over the entries' e.MBR(p_median) centers — the
+// same geometry the incremental split sorts by. Compared with one-by-one
+// insertion it produces a near-full tree (fewer pages, fewer query I/Os)
+// at a fraction of the build cost; the tree stays fully dynamic afterwards.
+// It can only be called on an empty tree.
+func (t *Tree) BulkLoad(objects []Object) error {
+	if t.size != 0 {
+		return fmt.Errorf("core: BulkLoad requires an empty tree (have %d objects)", t.size)
+	}
+	if len(objects) == 0 {
+		return nil
+	}
+	// Build leaf entries (PCRs → CFBs) and data records first.
+	entries := make([]entry, len(objects))
+	for i, o := range objects {
+		e, err := t.buildLeafEntry(o)
+		if err != nil {
+			return err
+		}
+		rec, err := encodeObject(o)
+		if err != nil {
+			return err
+		}
+		addr, err := t.data.Append(rec)
+		if err != nil {
+			return err
+		}
+		e.addr = addr
+		entries[i] = e
+	}
+
+	// Level 0: tile leaf entries into leaf nodes.
+	med := t.cat.MedianIndex()
+	centersOf := func(es []entry, leaf bool) []float64 {
+		// flattened center coordinates per entry (med box center)
+		out := make([]float64, len(es)*t.dim)
+		for i := range es {
+			c := t.boxAt(t.boundary(&es[i], leaf), med).Center()
+			copy(out[i*t.dim:], c)
+		}
+		return out
+	}
+
+	level := 0
+	current := entries
+	isLeaf := true
+	for {
+		capacity := t.leafCap
+		minFill := t.minLeaf
+		if !isLeaf {
+			capacity = t.innerCap
+			minFill = t.minInner
+		}
+		if len(current) <= capacity {
+			// Final node: the root.
+			root, err := t.allocNode(level)
+			if err != nil {
+				return err
+			}
+			root.entries = current
+			if err := t.writeNode(root); err != nil {
+				return err
+			}
+			// Free the initial empty root page created by New.
+			if t.rootPage != root.page {
+				if n, err := t.readNode(t.rootPage); err == nil && len(n.entries) == 0 {
+					_ = t.freeNode(n)
+				}
+			}
+			t.rootPage = root.page
+			t.rootLevel = level
+			t.size = len(objects)
+			return nil
+		}
+		groups := strTile(current, centersOf(current, isLeaf), t.dim, capacity, minFill)
+		next := make([]entry, 0, len(groups))
+		for _, g := range groups {
+			n, err := t.allocNode(level)
+			if err != nil {
+				return err
+			}
+			n.entries = g
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			next = append(next, entry{child: n.page, boxes: t.nodeBoundary(n)})
+		}
+		current = next
+		isLeaf = false
+		level++
+	}
+}
+
+// strTile partitions entries into groups of at most capacity (and at least
+// minFill) using recursive sort-tile over the given flattened center
+// coordinates.
+func strTile(entries []entry, centers []float64, dim, capacity, minFill int) [][]entry {
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	var groups [][]entry
+	var recurse func(ids []int, d int)
+	recurse = func(ids []int, d int) {
+		pages := int(math.Ceil(float64(len(ids)) / float64(capacity)))
+		if pages <= 1 || d == dim-1 {
+			// Final dimension: sort and chunk.
+			sort.Slice(ids, func(a, b int) bool {
+				return centers[ids[a]*dim+d] < centers[ids[b]*dim+d]
+			})
+			groups = append(groups, chunk(entries, ids, capacity, minFill)...)
+			return
+		}
+		// Slabs: ceil(pages^(1/(dim-d))) vertical cuts on dimension d.
+		slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dim-d))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			return centers[ids[a]*dim+d] < centers[ids[b]*dim+d]
+		})
+		per := (len(ids) + slabs - 1) / slabs
+		for lo := 0; lo < len(ids); lo += per {
+			hi := lo + per
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			recurse(ids[lo:hi], d+1)
+		}
+	}
+	recurse(idx, 0)
+	return groups
+}
+
+// chunk slices the ordered ids into groups of `capacity`, balancing the
+// tail so no group is below minFill.
+func chunk(entries []entry, ids []int, capacity, minFill int) [][]entry {
+	var out [][]entry
+	n := len(ids)
+	lo := 0
+	for lo < n {
+		hi := lo + capacity
+		if hi > n {
+			hi = n
+		}
+		// If the remainder after this chunk would be a too-small tail,
+		// shrink this chunk to feed the tail (minFill ≤ 40% of capacity
+		// keeps the shrunk chunk legal).
+		if rest := n - hi; rest > 0 && rest < minFill {
+			hi -= minFill - rest
+		}
+		g := make([]entry, 0, hi-lo)
+		for _, id := range ids[lo:hi] {
+			g = append(g, entries[id])
+		}
+		out = append(out, g)
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// CheckInvariants validates the structural and geometric invariants of the
+// index:
+//
+//   - node occupancy within [minFill, capacity] (root exempt from the
+//     minimum),
+//   - uniform leaf depth,
+//   - every intermediate entry's bounding boxes covering the corresponding
+//     boundary boxes of its child's entries at every catalog value
+//     (the containment property behind Observation 4),
+//   - stored object count matching the leaf entry count.
+//
+// It returns the first violation found, or nil.
+func (t *Tree) CheckInvariants() error {
+	total := 0
+	var check func(page pagefile.PageID, isRoot bool, wantLevel int) ([]geom.Rect, error)
+	check = func(page pagefile.PageID, isRoot bool, wantLevel int) ([]geom.Rect, error) {
+		n, err := t.readNode(page)
+		if err != nil {
+			return nil, err
+		}
+		if wantLevel >= 0 && n.level != wantLevel {
+			return nil, fmt.Errorf("core: node %d at level %d, want %d", page, n.level, wantLevel)
+		}
+		capacity, minFill := t.leafCap, t.minLeaf
+		if !n.leaf() {
+			capacity, minFill = t.innerCap, t.minInner
+		}
+		if len(n.entries) > capacity {
+			return nil, fmt.Errorf("core: node %d overfull: %d > %d", page, len(n.entries), capacity)
+		}
+		if !isRoot && len(n.entries) < minFill {
+			return nil, fmt.Errorf("core: node %d underfull: %d < %d", page, len(n.entries), minFill)
+		}
+		if n.leaf() {
+			total += len(n.entries)
+			if len(n.entries) == 0 {
+				return nil, nil
+			}
+			return t.nodeBoundary(n), nil
+		}
+		if len(n.entries) == 0 {
+			return nil, fmt.Errorf("core: empty intermediate node %d", page)
+		}
+		for i := range n.entries {
+			childBoxes, err := check(n.entries[i].child, false, n.level-1)
+			if err != nil {
+				return nil, err
+			}
+			if childBoxes == nil {
+				return nil, fmt.Errorf("core: intermediate node %d has empty child", page)
+			}
+			// Containment at every catalog value (interpolated where the
+			// representation is linear).
+			for j := 0; j < t.cat.Size(); j++ {
+				parentBox := t.boxAt(n.entries[i].boxes, j)
+				childBox := t.boxAt(childBoxes, j)
+				if !containsEps(parentBox, childBox, 1e-7) {
+					return nil, fmt.Errorf("core: node %d entry %d at p_%d: parent box %v does not cover child %v",
+						page, i, j, parentBox, childBox)
+				}
+			}
+		}
+		return t.nodeBoundary(n), nil
+	}
+	if _, err := check(t.rootPage, true, t.rootLevel); err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("core: size %d but %d leaf entries", t.size, total)
+	}
+	return nil
+}
+
+// containsEps is Contains with an absolute tolerance absorbing the float
+// round-trip through page serialization.
+func containsEps(outer, inner geom.Rect, eps float64) bool {
+	for i := range outer.Lo {
+		if inner.Lo[i] < outer.Lo[i]-eps || inner.Hi[i] > outer.Hi[i]+eps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,645 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/updf"
+)
+
+// makeObjects builds a mixed-pdf object set over [0, span]² with exact
+// oracles (deterministic ground truth).
+func makeObjects(n int, span float64, rng *rand.Rand) []Object {
+	objs := make([]Object, 0, n)
+	for i := 0; i < n; i++ {
+		cx := rng.Float64() * span
+		cy := rng.Float64() * span
+		var p updf.PDF
+		switch i % 4 {
+		case 0:
+			p = updf.NewUniformBall(geom.Point{cx, cy}, 25)
+		case 1:
+			r := geom.NewRect(geom.Point{cx, cy}, geom.Point{cx + 40, cy + 30})
+			p = updf.NewUniformRect(r)
+		case 2:
+			p = updf.NewConGauBall(geom.Point{cx, cy}, 25, 12.5)
+		default:
+			r := geom.NewRect(geom.Point{cx, cy}, geom.Point{cx + 35, cy + 35})
+			p = updf.NewGaussRect(r, geom.Point{cx + 17, cy + 17}, []float64{10, 14})
+		}
+		objs = append(objs, Object{ID: int64(i), PDF: p})
+	}
+	return objs
+}
+
+func buildTree(t *testing.T, kind Kind, objs []Object, catalogSize int) *Tree {
+	t.Helper()
+	tree, err := New(Options{
+		Dim:             2,
+		Kind:            kind,
+		CatalogSize:     catalogSize,
+		ExactRefinement: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := tree.Insert(o); err != nil {
+			t.Fatalf("insert %d: %v", o.ID, err)
+		}
+	}
+	return tree
+}
+
+func resultIDs(rs []Result) []int64 {
+	ids := make([]int64, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomQueryRect(rng *rand.Rand, span float64) geom.Rect {
+	cx := rng.Float64() * span
+	cy := rng.Float64() * span
+	w := 20 + rng.Float64()*span/4
+	h := 20 + rng.Float64()*span/4
+	return geom.NewRect(geom.Point{cx - w/2, cy - h/2}, geom.Point{cx + w/2, cy + h/2})
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	objs := makeObjects(800, 1000, rng)
+	scan := NewScan(objs, 9, 0, true, 1)
+
+	for _, kind := range []Kind{UTree, UPCR} {
+		tree := buildTree(t, kind, objs, 0)
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if tree.Len() != len(objs) {
+			t.Fatalf("%v: Len = %d", kind, tree.Len())
+		}
+		for q := 0; q < 120; q++ {
+			rq := randomQueryRect(rng, 1000)
+			pq := 0.05 + rng.Float64()*0.9
+			query := Query{Rect: rq, Prob: pq}
+			got, stats, err := tree.RangeQuery(query)
+			if err != nil {
+				t.Fatalf("%v query %d: %v", kind, q, err)
+			}
+			want := scan.BruteForce(query)
+			if !sameIDs(resultIDs(got), resultIDs(want)) {
+				t.Fatalf("%v query %d (pq=%.3f rq=%v): got %v want %v",
+					kind, q, pq, rq, resultIDs(got), resultIDs(want))
+			}
+			if stats.NodeAccesses < 1 {
+				t.Fatalf("%v: no node accesses recorded", kind)
+			}
+			if stats.Results != len(got) {
+				t.Fatalf("%v: stats.Results=%d, len=%d", kind, stats.Results, len(got))
+			}
+		}
+	}
+}
+
+func TestValidatedResultsAreMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	objs := makeObjects(300, 500, rng)
+	tree := buildTree(t, UTree, objs, 0)
+	// A giant query validates everything without probability computations.
+	all := Query{Rect: geom.NewRect(geom.Point{-100, -100}, geom.Point{700, 700}), Prob: 0.5}
+	got, stats, err := tree.RangeQuery(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("covering query returned %d of %d", len(got), len(objs))
+	}
+	if stats.ProbComputations != 0 {
+		t.Fatalf("covering query computed %d probabilities", stats.ProbComputations)
+	}
+	for _, r := range got {
+		if !r.Validated || r.Prob != -1 {
+			t.Fatalf("validated result not marked: %+v", r)
+		}
+	}
+}
+
+func TestDisjointQueryTouchesFewNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	objs := makeObjects(1000, 1000, rng)
+	tree := buildTree(t, UTree, objs, 0)
+	q := Query{Rect: geom.NewRect(geom.Point{5000, 5000}, geom.Point{5100, 5100}), Prob: 0.5}
+	got, stats, err := tree.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("disjoint query returned %d results", len(got))
+	}
+	if stats.NodeAccesses > 1 {
+		t.Fatalf("disjoint query visited %d nodes, want 1 (root only)", stats.NodeAccesses)
+	}
+}
+
+func TestDeleteThenQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	objs := makeObjects(600, 800, rng)
+	for _, kind := range []Kind{UTree, UPCR} {
+		tree := buildTree(t, kind, objs, 0)
+		// Delete a random half.
+		perm := rng.Perm(len(objs))
+		deleted := map[int64]bool{}
+		for _, idx := range perm[:300] {
+			o := objs[idx]
+			if err := tree.Delete(o.ID, o.PDF.MBR()); err != nil {
+				t.Fatalf("%v: delete %d: %v", kind, o.ID, err)
+			}
+			deleted[o.ID] = true
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("%v after deletes: %v", kind, err)
+		}
+		if tree.Len() != 300 {
+			t.Fatalf("%v: Len = %d, want 300", kind, tree.Len())
+		}
+		var remaining []Object
+		for _, o := range objs {
+			if !deleted[o.ID] {
+				remaining = append(remaining, o)
+			}
+		}
+		scan := NewScan(remaining, 9, 0, true, 1)
+		for q := 0; q < 50; q++ {
+			query := Query{Rect: randomQueryRect(rng, 800), Prob: 0.05 + rng.Float64()*0.9}
+			got, _, err := tree.RangeQuery(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := scan.BruteForce(query)
+			if !sameIDs(resultIDs(got), resultIDs(want)) {
+				t.Fatalf("%v query %d after deletes: got %v want %v",
+					kind, q, resultIDs(got), resultIDs(want))
+			}
+		}
+	}
+}
+
+func TestDeleteAllLeavesEmptyUsableTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objs := makeObjects(250, 400, rng)
+	tree := buildTree(t, UTree, objs, 0)
+	for _, o := range objs {
+		if err := tree.Delete(o.ID, o.PDF.MBR()); err != nil {
+			t.Fatalf("delete %d: %v", o.ID, err)
+		}
+	}
+	if tree.Len() != 0 || tree.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d after delete-all", tree.Len(), tree.Height())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Still usable.
+	if err := tree.Insert(objs[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tree.RangeQuery(Query{
+		Rect: geom.NewRect(geom.Point{-1000, -1000}, geom.Point{2000, 2000}),
+		Prob: 0.5,
+	})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("post-rebuild query: %v, %d results", err, len(got))
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	objs := makeObjects(50, 200, rng)
+	tree := buildTree(t, UTree, objs, 0)
+	err := tree.Delete(99999, objs[0].PDF.MBR())
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	wrongMBR := geom.NewRect(geom.Point{9000, 9000}, geom.Point{9001, 9001})
+	if err := tree.Delete(objs[0].ID, wrongMBR); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree, err := New(Options{Dim: 2, Kind: UTree, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int64]Object{}
+	nextID := int64(0)
+	for step := 0; step < 1200; step++ {
+		if len(live) == 0 || rng.Float64() < 0.62 {
+			o := makeObjects(1, 600, rng)[0]
+			o.ID = nextID
+			nextID++
+			if err := tree.Insert(o); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live[o.ID] = o
+		} else {
+			var victim Object
+			k := rng.Intn(len(live))
+			for _, o := range live {
+				if k == 0 {
+					victim = o
+					break
+				}
+				k--
+			}
+			if err := tree.Delete(victim.ID, victim.PDF.MBR()); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			delete(live, victim.ID)
+		}
+		if step%300 == 299 {
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final correctness check.
+	var objs []Object
+	for _, o := range live {
+		objs = append(objs, o)
+	}
+	scan := NewScan(objs, 9, 0, true, 1)
+	for q := 0; q < 30; q++ {
+		query := Query{Rect: randomQueryRect(rng, 600), Prob: 0.05 + rng.Float64()*0.9}
+		got, _, err := tree.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.BruteForce(query)
+		if !sameIDs(resultIDs(got), resultIDs(want)) {
+			t.Fatalf("query %d: got %v want %v", q, resultIDs(got), resultIDs(want))
+		}
+	}
+}
+
+func TestUTreeSmallerThanUPCR(t *testing.T) {
+	// Table 1's headline: the U-tree is much smaller despite its larger
+	// catalog (15 vs 9), because entries store 8d CFB values instead of
+	// 2dm PCR values.
+	rng := rand.New(rand.NewSource(8))
+	objs := makeObjects(2000, 2000, rng)
+	ut := buildTree(t, UTree, objs, 15)
+	up := buildTree(t, UPCR, objs, 9)
+	utPages, err := ut.IndexPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	upPages, err := up.IndexPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utPages >= upPages {
+		t.Fatalf("U-tree pages %d ≥ U-PCR pages %d", utPages, upPages)
+	}
+	ratio := float64(upPages) / float64(utPages)
+	if ratio < 1.5 {
+		t.Fatalf("size ratio %.2f, expected ≥ 1.5 (paper shows ≈ 2.4–2.8)", ratio)
+	}
+	// Fanout relations from Section 6.3.
+	utLeaf, utInner := ut.Fanout()
+	upLeaf, upInner := up.Fanout()
+	if utLeaf <= upLeaf || utInner <= upInner {
+		t.Fatalf("fanout: U-tree %d/%d vs U-PCR %d/%d", utLeaf, utInner, upLeaf, upInner)
+	}
+}
+
+func TestUTreeFewerNodeAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	objs := makeObjects(3000, 3000, rng)
+	ut := buildTree(t, UTree, objs, 15)
+	up := buildTree(t, UPCR, objs, 9)
+	var utIO, upIO int
+	for q := 0; q < 40; q++ {
+		query := Query{Rect: randomQueryRect(rng, 3000), Prob: 0.6}
+		_, s1, err := ut.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s2, err := up.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		utIO += s1.NodeAccesses
+		upIO += s2.NodeAccesses
+	}
+	if utIO >= upIO {
+		t.Fatalf("U-tree node accesses %d ≥ U-PCR %d (paper: U-tree significantly lower)", utIO, upIO)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tree, err := New(Options{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Query{
+		{Rect: geom.NewRect(geom.Point{0}, geom.Point{1}), Prob: 0.5},       // wrong dim
+		{Rect: geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}), Prob: 0},   // pq = 0
+		{Rect: geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}), Prob: 1.1}, // pq > 1
+	}
+	for i, q := range cases {
+		if _, _, err := tree.RangeQuery(q); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Invalid rectangle (NaN) must be rejected too.
+	bad := Query{Rect: geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{1, 1}}, Prob: 0.5}
+	bad.Rect.Lo[0] = 2 // inverted
+	if _, _, err := tree.RangeQuery(bad); err == nil {
+		t.Error("inverted rect accepted")
+	}
+}
+
+func TestEmptyTreeQuery(t *testing.T) {
+	tree, err := New(Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := tree.RangeQuery(Query{
+		Rect: geom.NewRect(geom.Point{0, 0, 0}, geom.Point{1, 1, 1}),
+		Prob: 0.5,
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty tree query: %v, %d results", err, len(got))
+	}
+	if stats.NodeAccesses != 1 {
+		t.Fatalf("NodeAccesses = %d", stats.NodeAccesses)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Dim: 0}); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(Options{Dim: 2, CatalogSize: 1}); err == nil {
+		t.Error("catalog 1 accepted")
+	}
+	// Enormous catalog with U-PCR in high dimension → fanout too small.
+	if _, err := New(Options{Dim: 8, Kind: UPCR, CatalogSize: 40}); err == nil {
+		t.Error("fanout <4 configuration accepted")
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	tree, _ := New(Options{Dim: 2})
+	o := Object{ID: 1, PDF: updf.NewUniformBall(geom.Point{0, 0, 0}, 1)}
+	if err := tree.Insert(o); err == nil {
+		t.Error("3D object accepted by 2D tree")
+	}
+}
+
+func Test3DTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var objs []Object
+	for i := 0; i < 400; i++ {
+		ctr := geom.Point{rng.Float64() * 500, rng.Float64() * 500, rng.Float64() * 500}
+		objs = append(objs, Object{ID: int64(i), PDF: updf.NewUniformBall(ctr, 12.5)})
+	}
+	tree, err := New(Options{Dim: 3, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	scan := NewScan(objs, 9, 0, true, 1)
+	for q := 0; q < 40; q++ {
+		c := geom.Point{rng.Float64() * 500, rng.Float64() * 500, rng.Float64() * 500}
+		s := 30 + rng.Float64()*80
+		rq := geom.NewRect(
+			geom.Point{c[0] - s, c[1] - s, c[2] - s},
+			geom.Point{c[0] + s, c[1] + s, c[2] + s})
+		query := Query{Rect: rq, Prob: 0.05 + rng.Float64()*0.9}
+		got, _, err := tree.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.BruteForce(query)
+		if !sameIDs(resultIDs(got), resultIDs(want)) {
+			t.Fatalf("3D query %d: got %v want %v", q, resultIDs(got), resultIDs(want))
+		}
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	objs := makeObjects(400, 600, rng)
+	store := pagefile.NewMemStore()
+	tree, err := New(Options{Dim: 2, Store: store, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := tree.AllocMetaPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.SaveMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(store, meta, Options{ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tree.Len() || re.Kind() != tree.Kind() || re.Dim() != 2 {
+		t.Fatalf("reopened tree mismatch: len=%d kind=%v", re.Len(), re.Kind())
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	scan := NewScan(objs, 9, 0, true, 1)
+	for q := 0; q < 40; q++ {
+		query := Query{Rect: randomQueryRect(rng, 600), Prob: 0.05 + rng.Float64()*0.9}
+		got, _, err := re.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.BruteForce(query)
+		if !sameIDs(resultIDs(got), resultIDs(want)) {
+			t.Fatalf("reopened query %d mismatch", q)
+		}
+	}
+	// Reopened tree accepts further updates.
+	extra := makeObjects(1, 600, rng)[0]
+	extra.ID = 999999
+	if err := re.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Delete(extra.ID, extra.PDF.MBR()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenBadMeta(t *testing.T) {
+	store := pagefile.NewMemStore()
+	id, _ := store.Alloc()
+	if _, err := Open(store, id, Options{}); err == nil {
+		t.Error("garbage metadata accepted")
+	}
+}
+
+func TestFaultInjectionSurfacesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	inner := pagefile.NewMemStore()
+	fs := pagefile.NewFaultStore(inner, -1)
+	tree, err := New(Options{Dim: 2, Store: fs, BufferPages: 1, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := makeObjects(64, 300, rng)
+	for _, o := range objs[:32] {
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Trip the store and verify errors propagate rather than panic.
+	fs.Arm(0)
+	if err := tree.Insert(objs[40]); !errors.Is(err, pagefile.ErrInjected) {
+		t.Fatalf("insert under fault: %v", err)
+	}
+	fs.Arm(0)
+	if _, _, err := tree.RangeQuery(Query{
+		Rect: geom.NewRect(geom.Point{0, 0}, geom.Point{300, 300}), Prob: 0.5,
+	}); !errors.Is(err, pagefile.ErrInjected) {
+		t.Fatalf("query under fault: %v", err)
+	}
+	// Heal and confirm reads still work (tree structure was not corrupted
+	// by the failed insert attempt before any page mutation).
+	fs.Arm(-1)
+	if _, _, err := tree.RangeQuery(Query{
+		Rect: geom.NewRect(geom.Point{0, 0}, geom.Point{300, 300}), Prob: 0.5,
+	}); err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+}
+
+func TestUpdateStatsAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	objs := makeObjects(200, 400, rng)
+	tree := buildTree(t, UTree, objs, 0)
+	ins := tree.InsertStats()
+	if ins.Ops != 200 || ins.PageWrites == 0 || ins.CPUTime == 0 {
+		t.Fatalf("insert stats: %+v", ins)
+	}
+	for _, o := range objs[:50] {
+		if err := tree.Delete(o.ID, o.PDF.MBR()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del := tree.DeleteStats()
+	if del.Ops != 50 || del.PageReads == 0 {
+		t.Fatalf("delete stats: %+v", del)
+	}
+	tree.ResetCounters()
+	if s := tree.InsertStats(); s.Ops != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestScanAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	objs := makeObjects(300, 500, rng)
+	scan := NewScan(objs, 9, 0, true, 1)
+	for q := 0; q < 60; q++ {
+		query := Query{Rect: randomQueryRect(rng, 500), Prob: 0.05 + rng.Float64()*0.9}
+		got, stats, err := scan.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.BruteForce(query)
+		if !sameIDs(resultIDs(got), resultIDs(want)) {
+			t.Fatalf("scan query %d mismatch", q)
+		}
+		if stats.ProbComputations > len(objs) {
+			t.Fatalf("more prob computations than objects: %d", stats.ProbComputations)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if UTree.String() != "U-tree" || UPCR.String() != "U-PCR" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestHistogramObjectsEndToEnd(t *testing.T) {
+	// "Arbitrary pdfs": random histograms through the full index stack.
+	rng := rand.New(rand.NewSource(15))
+	var objs []Object
+	for i := 0; i < 150; i++ {
+		cx, cy := rng.Float64()*400, rng.Float64()*400
+		w := make([]float64, 9)
+		for k := range w {
+			w[k] = rng.Float64()
+		}
+		rect := geom.NewRect(geom.Point{cx, cy}, geom.Point{cx + 30, cy + 24})
+		objs = append(objs, Object{ID: int64(i), PDF: updf.NewHistogramRect(rect, []int{3, 3}, w)})
+	}
+	tree, err := New(Options{Dim: 2, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	scan := NewScan(objs, 9, 0, true, 1)
+	for q := 0; q < 50; q++ {
+		query := Query{Rect: randomQueryRect(rng, 400), Prob: 0.05 + rng.Float64()*0.9}
+		got, _, err := tree.RangeQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.BruteForce(query)
+		if !sameIDs(resultIDs(got), resultIDs(want)) {
+			t.Fatalf("histogram query %d mismatch", q)
+		}
+	}
+}

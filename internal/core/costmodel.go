@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// The paper's conclusion names analytical cost models (in the spirit of
+// Theodoridis & Sellis [12]) as future work: predict a prob-range query's
+// node accesses without executing it, for use in query optimization. This
+// file implements that model for the U-tree.
+//
+// The model keeps, per tree level and per catalog value p_j, the node
+// count and the average side length of the nodes' bounding boxes at p_j.
+// Under the classical uniform-query-center assumption, a node whose box has
+// sides s_i is intersected by a query with sides q_i with probability
+// Π_i min(1, (s_i + q_i) / W_i), where W_i is the data-space extent. The
+// expected node accesses of a query are the sum of those probabilities over
+// all non-root levels, plus one for the root. Because the descent of
+// Observation 4 visits a node exactly when its entry box at p_j intersects
+// the query (and containment makes intersection propagate upward), this is
+// the U-tree analogue of the R-tree access model.
+//
+// Query centers that follow the data distribution (the paper's workloads)
+// concentrate probability mass where nodes are, so the uniform-center model
+// underestimates; the model optionally applies a calibration factor fitted
+// from a handful of sample queries.
+
+// CostModel is a compact summary of a U-tree for cost prediction.
+type CostModel struct {
+	dim     int
+	m       int
+	domain  geom.Rect
+	levels  []levelSummary
+	calibce float64 // multiplicative calibration (1 = pure analytic model)
+}
+
+type levelSummary struct {
+	level    int
+	nodes    int
+	avgSides [][]float64 // [catalogIdx][dim] average side length
+}
+
+// BuildCostModel walks the tree once and summarizes it. domain is the data
+// space (pass the dataset MBR; zero-extent dimensions are rejected).
+func (t *Tree) BuildCostModel(domain geom.Rect) (*CostModel, error) {
+	if domain.Dim() != t.dim {
+		return nil, fmt.Errorf("core: domain dim %d, tree dim %d", domain.Dim(), t.dim)
+	}
+	for i := 0; i < t.dim; i++ {
+		if domain.Side(i) <= 0 {
+			return nil, fmt.Errorf("core: domain has zero extent on dim %d", i)
+		}
+	}
+	cm := &CostModel{dim: t.dim, m: t.cat.Size(), domain: domain.Clone(), calibce: 1}
+	byLevel := map[int]*levelSummary{}
+	err := t.walk(t.rootPage, func(n *node) error {
+		ls, ok := byLevel[n.level]
+		if !ok {
+			ls = &levelSummary{level: n.level, avgSides: make([][]float64, t.cat.Size())}
+			for j := range ls.avgSides {
+				ls.avgSides[j] = make([]float64, t.dim)
+			}
+			byLevel[n.level] = ls
+		}
+		if len(n.entries) == 0 {
+			return nil
+		}
+		ls.nodes++
+		boxes := t.nodeBoundary(n)
+		for j := 0; j < t.cat.Size(); j++ {
+			b := t.boxAt(boxes, j)
+			for i := 0; i < t.dim; i++ {
+				ls.avgSides[j][i] += b.Side(i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for lvl := 0; lvl <= t.rootLevel; lvl++ {
+		ls, ok := byLevel[lvl]
+		if !ok {
+			continue
+		}
+		for j := range ls.avgSides {
+			for i := range ls.avgSides[j] {
+				if ls.nodes > 0 {
+					ls.avgSides[j][i] /= float64(ls.nodes)
+				}
+			}
+		}
+		cm.levels = append(cm.levels, *ls)
+	}
+	return cm, nil
+}
+
+// EstimateNodeAccesses predicts the tree pages visited by a prob-range
+// query with the given rectangle side lengths and probability threshold.
+func (cm *CostModel) EstimateNodeAccesses(querySides []float64, pq float64, catalogIdx int) float64 {
+	total := 1.0 // the root is always visited
+	for _, ls := range cm.levels {
+		if ls.level == len(cm.levels)-1 {
+			continue // root level counted above
+		}
+		total += cm.levelAccesses(ls, querySides, catalogIdx)
+	}
+	return total * cm.calibce
+}
+
+func (cm *CostModel) levelAccesses(ls levelSummary, querySides []float64, j int) float64 {
+	p := 1.0
+	for i := 0; i < cm.dim; i++ {
+		w := cm.domain.Side(i)
+		frac := (ls.avgSides[j][i] + querySides[i]) / w
+		if frac > 1 {
+			frac = 1
+		}
+		p *= frac
+	}
+	return p * float64(ls.nodes)
+}
+
+// Calibrate fits the multiplicative correction from measured accesses of
+// sample queries (predicted × c ≈ measured in the least-squares sense).
+// Call with matching slices of per-query predictions and measurements.
+func (cm *CostModel) Calibrate(predicted, measured []float64) error {
+	if len(predicted) != len(measured) || len(predicted) == 0 {
+		return fmt.Errorf("core: calibration needs matching non-empty samples")
+	}
+	var num, den float64
+	for i := range predicted {
+		num += predicted[i] * measured[i]
+		den += predicted[i] * predicted[i]
+	}
+	if den == 0 {
+		return fmt.Errorf("core: zero predictions cannot calibrate")
+	}
+	cm.calibce = num / den
+	return nil
+}
+
+// CalibrationFactor exposes the fitted correction.
+func (cm *CostModel) CalibrationFactor() float64 { return cm.calibce }
+
+// Levels reports the number of summarized levels (diagnostics).
+func (cm *CostModel) Levels() int { return len(cm.levels) }
+
+// CatalogIndexFor maps a probability threshold to the catalog index the
+// descent uses (largest p_j ≤ pq), so callers can query the model with the
+// same index the executor would use.
+func (t *Tree) CatalogIndexFor(pq float64) int {
+	j, ok := t.cat.LargestLE(pq)
+	if !ok {
+		return 0
+	}
+	return j
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/pcr"
+)
+
+// pcrCFB aliases pcr.CFB for the serialization helpers.
+type pcrCFB = pcr.CFB
+
+// Kind selects the index variant.
+type Kind int
+
+const (
+	// UTree stores CFBs in leaves and two boundary rectangles (MBR⊥, MBR⊤)
+	// in intermediate entries — the paper's proposal.
+	UTree Kind = iota
+	// UPCR stores all m PCRs in leaves and m bounding rectangles in
+	// intermediate entries — the comparison structure of Section 6.
+	UPCR
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == UPCR {
+		return "U-PCR"
+	}
+	return "U-tree"
+}
+
+// entry is the in-memory form of a node entry for either kind and either
+// node level.
+//
+// Leaf entries: id, addr, mbr are always set; a U-tree leaf carries out/in
+// CFBs, a U-PCR leaf carries pcrBoxes (length m, pcrBoxes[0] == mbr).
+//
+// Intermediate entries: child is set and boxes carries the bounding
+// geometry — length 2 for the U-tree ([MBR⊥, MBR⊤], interpolated linearly
+// in p) and length m for U-PCR (one bounding rectangle per catalog value).
+type entry struct {
+	// Leaf fields.
+	id   int64
+	addr pagefile.DataAddr
+	mbr  geom.Rect
+	out  pcr.CFB
+	in   pcr.CFB
+	pcrs []geom.Rect
+
+	// Intermediate fields.
+	child pagefile.PageID
+	boxes []geom.Rect
+}
+
+// boundary returns the entry's representative boxes used to build parent
+// entries: for U-tree entries 2 boxes (at p_1 and p_m), for U-PCR entries m
+// boxes (one per catalog value).
+func (t *Tree) boundary(e *entry, leaf bool) []geom.Rect {
+	if !leaf {
+		return e.boxes
+	}
+	if t.kind == UTree {
+		return []geom.Rect{e.out.Rect(0), e.out.Rect(t.cat.Max())}
+	}
+	return e.pcrs
+}
+
+// boxAt evaluates an entry's bounding rectangle at catalog index j. For
+// 2-box (U-tree) geometry this interpolates the linear e.MBR(p) function of
+// Equation 15 (p_1 = 0 makes α = MBR⊥ and β = (MBR⊥−MBR⊤)/p_m); for m-box
+// geometry it returns the stored rectangle.
+func (t *Tree) boxAt(boxes []geom.Rect, j int) geom.Rect {
+	if len(boxes) == t.cat.Size() {
+		return boxes[j]
+	}
+	if len(boxes) != 2 {
+		panic(fmt.Sprintf("core: entry with %d boxes (want 2 or %d)", len(boxes), t.cat.Size()))
+	}
+	f := t.cat.Value(j) / t.cat.Max()
+	return interpRect(boxes[0], boxes[1], f)
+}
+
+// interpRect linearly interpolates each face: (1−f)·a + f·b.
+func interpRect(a, b geom.Rect, f float64) geom.Rect {
+	d := a.Dim()
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		lo[i] = a.Lo[i] + (b.Lo[i]-a.Lo[i])*f
+		hi[i] = a.Hi[i] + (b.Hi[i]-a.Hi[i])*f
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// unionBoundaries unions per-slot boxes of two boundary sets (same length).
+func unionBoundaries(dst, src []geom.Rect) {
+	for i := range dst {
+		dst[i].UnionInPlace(src[i])
+	}
+}
+
+// cloneBoxes deep-copies a boundary set.
+func cloneBoxes(b []geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, len(b))
+	for i := range b {
+		out[i] = b[i].Clone()
+	}
+	return out
+}
+
+// entrySizes returns the on-page sizes (bytes) of leaf and intermediate
+// entries for the given kind, dimensionality and catalog size.
+func entrySizes(kind Kind, dim, m int) (leaf, inner int) {
+	rect := 16 * dim // 2d float64
+	switch kind {
+	case UTree:
+		// id(8) + addr(8) + MBR + cfb_out(4d) + cfb_in(4d).
+		leaf = 16 + rect + 64*dim
+		// child(8) + MBR⊥ + MBR⊤.
+		inner = 8 + 2*rect
+	case UPCR:
+		// id(8) + addr(8) + m PCR boxes (pcr(0) doubles as the MBR).
+		leaf = 16 + m*rect
+		// child(8) + m bounding boxes.
+		inner = 8 + m*rect
+	}
+	return leaf, inner
+}
+
+// nodeHeader is the per-page header: level(1) + pad(1) + count(2) + pad(4).
+const nodeHeader = 8
+
+// capacities derives node fan-outs from the page and entry sizes.
+func capacities(kind Kind, dim, m int) (leafCap, innerCap int) {
+	leafSz, innerSz := entrySizes(kind, dim, m)
+	leafCap = (pagefile.PageSize - nodeHeader) / leafSz
+	innerCap = (pagefile.PageSize - nodeHeader) / innerSz
+	return leafCap, innerCap
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// node is the in-memory form of a tree page.
+type node struct {
+	page    pagefile.PageID
+	level   int // 0 = leaf
+	entries []entry
+}
+
+func (n *node) leaf() bool { return n.level == 0 }
+
+// readNode fetches and deserializes a page, counting one logical node
+// access.
+func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
+	t.nodeReads++
+	buf, err := t.pool.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading node %d: %w", id, err)
+	}
+	return t.decodeNode(id, buf)
+}
+
+// writeNode serializes a node back to its page.
+func (t *Tree) writeNode(n *node) error {
+	t.nodeWrites++
+	buf := make([]byte, pagefile.PageSize)
+	if err := t.encodeNode(n, buf); err != nil {
+		return err
+	}
+	if err := t.pool.Put(n.page, buf); err != nil {
+		return fmt.Errorf("core: writing node %d: %w", n.page, err)
+	}
+	return nil
+}
+
+// allocNode creates an empty node at the given level.
+func (t *Tree) allocNode(level int) (*node, error) {
+	id, err := t.store.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating node: %w", err)
+	}
+	return &node{page: id, level: level}, nil
+}
+
+// freeNode releases a node's page.
+func (t *Tree) freeNode(n *node) error {
+	t.pool.Invalidate(n.page)
+	return t.store.Free(n.page)
+}
+
+func (t *Tree) encodeNode(n *node, buf []byte) error {
+	cap := t.leafCap
+	sz := t.leafEntrySize
+	if !n.leaf() {
+		cap = t.innerCap
+		sz = t.innerEntrySize
+	}
+	if len(n.entries) > cap {
+		return fmt.Errorf("core: node %d holds %d entries, capacity %d", n.page, len(n.entries), cap)
+	}
+	buf[0] = byte(n.level)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.entries)))
+	off := nodeHeader
+	for i := range n.entries {
+		if n.leaf() {
+			t.encodeLeafEntry(&n.entries[i], buf[off:off+sz])
+		} else {
+			t.encodeInnerEntry(&n.entries[i], buf[off:off+sz])
+		}
+		off += sz
+	}
+	return nil
+}
+
+func (t *Tree) decodeNode(id pagefile.PageID, buf []byte) (*node, error) {
+	n := &node{page: id, level: int(buf[0])}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	cap, sz := t.innerCap, t.innerEntrySize
+	if n.leaf() {
+		cap, sz = t.leafCap, t.leafEntrySize
+	}
+	if count > cap {
+		return nil, fmt.Errorf("core: corrupt node %d: count %d exceeds capacity %d", id, count, cap)
+	}
+	n.entries = make([]entry, count)
+	off := nodeHeader
+	for i := 0; i < count; i++ {
+		if n.leaf() {
+			t.decodeLeafEntry(&n.entries[i], buf[off:off+sz])
+		} else {
+			t.decodeInnerEntry(&n.entries[i], buf[off:off+sz])
+		}
+		off += sz
+	}
+	return n, nil
+}
+
+func (t *Tree) encodeLeafEntry(e *entry, buf []byte) {
+	binary.LittleEndian.PutUint64(buf, uint64(e.id))
+	off := putAddr(buf, 8, e.addr)
+	off = putRect(buf, off, e.mbr)
+	if t.kind == UTree {
+		off = putCFB(buf, off, e.out)
+		putCFB(buf, off, e.in)
+		return
+	}
+	// U-PCR: pcr(0) is the MBR itself, so boxes 1..m-1 follow the MBR slot.
+	for j := 1; j < t.cat.Size(); j++ {
+		off = putRect(buf, off, e.pcrs[j])
+	}
+}
+
+func (t *Tree) decodeLeafEntry(e *entry, buf []byte) {
+	e.id = int64(binary.LittleEndian.Uint64(buf))
+	var off int
+	e.addr, off = getAddr(buf, 8)
+	e.mbr, off = getRect(buf, off, t.dim)
+	if t.kind == UTree {
+		e.out, off = getCFB(buf, off, t.dim)
+		e.in, _ = getCFB(buf, off, t.dim)
+		return
+	}
+	e.pcrs = make([]geom.Rect, t.cat.Size())
+	e.pcrs[0] = e.mbr.Clone()
+	for j := 1; j < t.cat.Size(); j++ {
+		e.pcrs[j], off = getRect(buf, off, t.dim)
+	}
+}
+
+func (t *Tree) encodeInnerEntry(e *entry, buf []byte) {
+	binary.LittleEndian.PutUint32(buf, uint32(e.child))
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	off := 8
+	for _, b := range e.boxes {
+		off = putRect(buf, off, b)
+	}
+}
+
+func (t *Tree) decodeInnerEntry(e *entry, buf []byte) {
+	e.child = pagefile.PageID(binary.LittleEndian.Uint32(buf))
+	nb := 2
+	if t.kind == UPCR {
+		nb = t.cat.Size()
+	}
+	e.boxes = make([]geom.Rect, nb)
+	off := 8
+	for i := 0; i < nb; i++ {
+		e.boxes[i], off = getRect(buf, off, t.dim)
+	}
+}
+
+func putRect(buf []byte, off int, r geom.Rect) int {
+	for _, v := range r.Lo {
+		off = putF64(buf, off, v)
+	}
+	for _, v := range r.Hi {
+		off = putF64(buf, off, v)
+	}
+	return off
+}
+
+func getRect(buf []byte, off, dim int) (geom.Rect, int) {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for i := 0; i < dim; i++ {
+		lo[i], off = getF64(buf, off)
+	}
+	for i := 0; i < dim; i++ {
+		hi[i], off = getF64(buf, off)
+	}
+	return geom.Rect{Lo: lo, Hi: hi}, off
+}
+
+func putCFB(buf []byte, off int, c pcrCFB) int {
+	for _, arr := range [][]float64{c.AlphaLo, c.BetaLo, c.AlphaHi, c.BetaHi} {
+		for _, v := range arr {
+			off = putF64(buf, off, v)
+		}
+	}
+	return off
+}
+
+func getCFB(buf []byte, off, dim int) (pcrCFB, int) {
+	c := pcrCFB{
+		AlphaLo: make([]float64, dim), BetaLo: make([]float64, dim),
+		AlphaHi: make([]float64, dim), BetaHi: make([]float64, dim),
+	}
+	for _, arr := range [][]float64{c.AlphaLo, c.BetaLo, c.AlphaHi, c.BetaHi} {
+		for i := 0; i < dim; i++ {
+			arr[i], off = getF64(buf, off)
+		}
+	}
+	return c, off
+}

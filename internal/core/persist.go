@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pagefile"
+	"repro/internal/pcr"
+)
+
+// Tree metadata is persisted in a dedicated page so file-backed indexes can
+// be closed and reopened. Layout (little endian):
+//
+//	magic u32 | kind u8 | dim u8 | catalog u16 |
+//	rootPage u32 | rootLevel u32 | size u64 | dataPage u32
+const metaMagic = 0x55545231 // "UTR1"
+
+// SaveMeta flushes the buffer pool and persists the tree metadata to the
+// given page (allocate one with AllocMetaPage before first use).
+func (t *Tree) SaveMeta(page pagefile.PageID) error {
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	buf := make([]byte, pagefile.PageSize)
+	binary.LittleEndian.PutUint32(buf[0:], metaMagic)
+	buf[4] = byte(t.kind)
+	buf[5] = byte(t.dim)
+	binary.LittleEndian.PutUint16(buf[6:], uint16(t.cat.Size()))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(t.rootPage))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.rootLevel))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(t.size))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(t.data.CurrentPage()))
+	return t.store.Write(page, buf)
+}
+
+// AllocMetaPage reserves a page for metadata on a fresh store; call before
+// inserting so the page id is stable (typically the first page).
+func (t *Tree) AllocMetaPage() (pagefile.PageID, error) {
+	return t.store.Alloc()
+}
+
+// Open reconstructs a Tree from a store and its metadata page. Runtime
+// options (buffering, refinement) come from opt; structural fields (kind,
+// dim, catalog) come from the metadata.
+func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, error) {
+	buf := make([]byte, pagefile.PageSize)
+	if err := store.Read(metaPage, buf); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != metaMagic {
+		return nil, fmt.Errorf("core: page %d is not a U-tree metadata page", metaPage)
+	}
+	kind := Kind(buf[4])
+	dim := int(buf[5])
+	m := int(binary.LittleEndian.Uint16(buf[6:]))
+	if dim < 1 || m < 2 || (kind != UTree && kind != UPCR) {
+		return nil, fmt.Errorf("core: corrupt metadata (kind=%d dim=%d m=%d)", kind, dim, m)
+	}
+
+	bufPages := opt.BufferPages
+	if bufPages == 0 {
+		bufPages = 256
+	}
+	samples := opt.MCSamples
+	if samples == 0 {
+		samples = 10000
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &Tree{
+		kind:    kind,
+		dim:     dim,
+		cat:     pcr.UniformCatalog(m),
+		store:   store,
+		qcache:  pcr.NewQuantileCache(),
+		rng:     rand.New(rand.NewSource(seed)),
+		samples: samples,
+		exact:   opt.ExactRefinement,
+	}
+	t.pool = pagefile.NewBufferPool(store, bufPages)
+	t.leafCap, t.innerCap = capacities(kind, dim, m)
+	t.leafEntrySize, t.innerEntrySize = entrySizes(kind, dim, m)
+	t.minLeaf = max1(t.leafCap * 2 / 5)
+	t.minInner = max1(t.innerCap * 2 / 5)
+	t.reinsertLeaf = max1(t.leafCap * 3 / 10)
+	t.reinsertInner = max1(t.innerCap * 3 / 10)
+
+	t.rootPage = pagefile.PageID(binary.LittleEndian.Uint32(buf[8:]))
+	t.rootLevel = int(binary.LittleEndian.Uint32(buf[12:]))
+	t.size = int(binary.LittleEndian.Uint64(buf[16:]))
+	t.data = pagefile.OpenDataFileAt(store, pagefile.PageID(binary.LittleEndian.Uint32(buf[24:])))
+	return t, nil
+}

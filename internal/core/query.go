@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/pcr"
+	"repro/internal/updf"
+)
+
+// Query is a probabilistic range query: find objects appearing in Rect with
+// probability at least Prob.
+type Query struct {
+	Rect geom.Rect
+	Prob float64
+}
+
+// Result is one qualifying object.
+type Result struct {
+	ID int64
+	// Prob is the appearance probability when it was computed during
+	// refinement; for directly validated objects it is set to -1 (the whole
+	// point of the index is not computing it).
+	Prob float64
+	// Validated reports whether the object was reported without probability
+	// computation.
+	Validated bool
+}
+
+// QueryStats reports the cost metrics of one query, matching the paper's
+// plots: node accesses (Fig. 9/10 left column), number of appearance
+// probability computations and directly-validated percentage (middle
+// column), and refinement I/Os.
+type QueryStats struct {
+	NodeAccesses     int // tree pages visited
+	LeafAccesses     int
+	Candidates       int // entries that needed refinement
+	ProbComputations int
+	Validated        int // results reported without probability computation
+	RefinementIOs    int // distinct data pages fetched
+	Results          int
+	FilterTime       time.Duration
+	RefineTime       time.Duration
+}
+
+// RangeQuery executes a prob-range query (Section 5.2): Observation 4
+// pruning during the descent, Observation 3 (U-tree) or Observation 2
+// (U-PCR) filtering at leaves, then refinement of surviving candidates with
+// their appearance probabilities, fetching each distinct data page once.
+func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	if err := validateQuery(t.dim, q); err != nil {
+		return nil, stats, err
+	}
+	start := time.Now()
+
+	// p_j for Observation 4: largest catalog value ≤ p_q (always exists
+	// since p_1 = 0).
+	jDescend, _ := t.cat.LargestLE(q.Prob)
+
+	type candidate struct {
+		id   int64
+		addr pagefile.DataAddr
+	}
+	var results []Result
+	var cands []candidate
+
+	stack := []pagefile.PageID{t.rootPage}
+	for len(stack) > 0 {
+		page := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readNode(page)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.NodeAccesses++
+		if !n.leaf() {
+			for i := range n.entries {
+				// Observation 4: the subtree cannot contain results if rq
+				// misses e.MBR(p_j).
+				if q.Rect.Intersects(t.boxAt(n.entries[i].boxes, jDescend)) {
+					stack = append(stack, n.entries[i].child)
+				}
+			}
+			continue
+		}
+		stats.LeafAccesses++
+		for i := range n.entries {
+			e := &n.entries[i]
+			var outcome pcr.Outcome
+			if t.kind == UTree {
+				outcome = pcr.FilterCFB(e.out, e.in, t.cat, e.mbr, q.Rect, q.Prob)
+			} else {
+				outcome = pcr.FilterCatalogPCR(pcr.PCRs{Cat: t.cat, Boxes: e.pcrs}, e.mbr, q.Rect, q.Prob)
+			}
+			switch outcome {
+			case pcr.Validated:
+				results = append(results, Result{ID: e.id, Prob: -1, Validated: true})
+				stats.Validated++
+			case pcr.Unknown:
+				cands = append(cands, candidate{e.id, e.addr})
+			}
+		}
+	}
+	stats.Candidates = len(cands)
+	stats.FilterTime = time.Since(start)
+
+	// Refinement: group candidates by data page (one I/O per page).
+	refineStart := time.Now()
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].addr.Page != cands[b].addr.Page {
+			return cands[a].addr.Page < cands[b].addr.Page
+		}
+		return cands[a].addr.Slot < cands[b].addr.Slot
+	})
+	var pageBuf []byte
+	var pageID pagefile.PageID = pagefile.InvalidPage
+	for _, c := range cands {
+		if c.addr.Page != pageID {
+			var err error
+			pageBuf, err = t.data.ReadPage(c.addr.Page)
+			if err != nil {
+				return nil, stats, err
+			}
+			pageID = c.addr.Page
+			stats.RefinementIOs++
+		}
+		rec, err := pagefile.RecordFromPage(pageBuf, c.addr.Slot)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: refining object %d: %w", c.id, err)
+		}
+		obj, err := decodeObject(rec)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: refining object %d: %w", c.id, err)
+		}
+		p := t.appearanceProbability(obj.PDF, q.Rect)
+		stats.ProbComputations++
+		if p >= q.Prob {
+			results = append(results, Result{ID: obj.ID, Prob: p})
+		}
+	}
+	stats.RefineTime = time.Since(refineStart)
+	stats.Results = len(results)
+	return results, stats, nil
+}
+
+// appearanceProbability evaluates Equation 2, by exact oracle when
+// configured and available, else by Monte Carlo (Equation 3).
+func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect) float64 {
+	if t.exact {
+		if ex, ok := p.(updf.ExactProber); ok {
+			return ex.ExactProb(rq)
+		}
+	}
+	return updf.MonteCarloProb(p, rq, t.samples, t.rng)
+}
+
+func validateQuery(dim int, q Query) error {
+	if q.Rect.Dim() != dim {
+		return fmt.Errorf("core: query dim %d, tree dim %d", q.Rect.Dim(), dim)
+	}
+	if !q.Rect.IsValid() {
+		return fmt.Errorf("core: invalid query rectangle %v", q.Rect)
+	}
+	if q.Prob <= 0 || q.Prob > 1 {
+		return fmt.Errorf("core: query probability %g outside (0, 1]", q.Prob)
+	}
+	return nil
+}

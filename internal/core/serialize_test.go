@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/pcr"
+)
+
+// randRectIn produces a well-formed rectangle inside [0, span]^d.
+func randRectIn(rng *rand.Rand, d int, span float64) geom.Rect {
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		a := rng.Float64() * span
+		b := a + rng.Float64()*span/10
+		lo[i], hi[i] = a, b
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// randCFB produces a structurally valid CFB.
+func randCFB(rng *rand.Rand, d int) pcr.CFB {
+	c := pcr.CFB{
+		AlphaLo: make([]float64, d), BetaLo: make([]float64, d),
+		AlphaHi: make([]float64, d), BetaHi: make([]float64, d),
+	}
+	for i := 0; i < d; i++ {
+		c.AlphaLo[i] = rng.Float64() * 100
+		c.AlphaHi[i] = c.AlphaLo[i] + rng.Float64()*50
+		c.BetaLo[i] = rng.NormFloat64() * 10
+		c.BetaHi[i] = rng.NormFloat64() * 10
+	}
+	return c
+}
+
+func cfbEqual(a, b pcr.CFB) bool {
+	for i := range a.AlphaLo {
+		if a.AlphaLo[i] != b.AlphaLo[i] || a.BetaLo[i] != b.BetaLo[i] ||
+			a.AlphaHi[i] != b.AlphaHi[i] || a.BetaHi[i] != b.BetaHi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNodeSerializationRoundTripUTree encodes and decodes random U-tree
+// nodes (leaf and intermediate) and demands bit-exact field recovery.
+func TestNodeSerializationRoundTripUTree(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		tree, err := New(Options{Dim: dim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			// Leaf node.
+			leaf := &node{page: 12, level: 0}
+			n := 1 + rng.Intn(tree.leafCap)
+			for i := 0; i < n; i++ {
+				leaf.entries = append(leaf.entries, entry{
+					id:   rng.Int63(),
+					addr: pagefile.DataAddr{Page: pagefile.PageID(rng.Uint32()), Slot: uint16(rng.Intn(100))},
+					mbr:  randRectIn(rng, dim, 1000),
+					out:  randCFB(rng, dim),
+					in:   randCFB(rng, dim),
+				})
+			}
+			buf := make([]byte, pagefile.PageSize)
+			if err := tree.encodeNode(leaf, buf); err != nil {
+				return false
+			}
+			got, err := tree.decodeNode(12, buf)
+			if err != nil || got.level != 0 || len(got.entries) != n {
+				return false
+			}
+			for i := range leaf.entries {
+				a, b := &leaf.entries[i], &got.entries[i]
+				if a.id != b.id || a.addr != b.addr || !a.mbr.Equal(b.mbr) ||
+					!cfbEqual(a.out, b.out) || !cfbEqual(a.in, b.in) {
+					return false
+				}
+			}
+			// Intermediate node.
+			inner := &node{page: 13, level: 1 + rng.Intn(4)}
+			ni := 1 + rng.Intn(tree.innerCap)
+			for i := 0; i < ni; i++ {
+				inner.entries = append(inner.entries, entry{
+					child: pagefile.PageID(rng.Uint32() % 1_000_000),
+					boxes: []geom.Rect{randRectIn(rng, dim, 1000), randRectIn(rng, dim, 1000)},
+				})
+			}
+			buf2 := make([]byte, pagefile.PageSize)
+			if err := tree.encodeNode(inner, buf2); err != nil {
+				return false
+			}
+			got2, err := tree.decodeNode(13, buf2)
+			if err != nil || got2.level != inner.level || len(got2.entries) != ni {
+				return false
+			}
+			for i := range inner.entries {
+				if inner.entries[i].child != got2.entries[i].child {
+					return false
+				}
+				for j := range inner.entries[i].boxes {
+					if !inner.entries[i].boxes[j].Equal(got2.entries[i].boxes[j]) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+	}
+}
+
+// TestNodeSerializationRoundTripUPCR does the same for U-PCR entries
+// (m PCR boxes with pcr(0) doubling as the MBR).
+func TestNodeSerializationRoundTripUPCR(t *testing.T) {
+	tree, err := New(Options{Dim: 2, Kind: UPCR, CatalogSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tree.cat.Size()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		leaf := &node{page: 5, level: 0}
+		n := 1 + rng.Intn(tree.leafCap)
+		for i := 0; i < n; i++ {
+			// Nested boxes: box j+1 inside box j, as real PCRs are.
+			boxes := make([]geom.Rect, m)
+			boxes[0] = randRectIn(rng, 2, 1000)
+			for j := 1; j < m; j++ {
+				prev := boxes[j-1]
+				shrink := rng.Float64() * 0.4
+				lo := geom.Point{
+					prev.Lo[0] + prev.Side(0)*shrink/2,
+					prev.Lo[1] + prev.Side(1)*shrink/2,
+				}
+				hi := geom.Point{
+					prev.Hi[0] - prev.Side(0)*shrink/2,
+					prev.Hi[1] - prev.Side(1)*shrink/2,
+				}
+				boxes[j] = geom.Rect{Lo: lo, Hi: hi}
+			}
+			leaf.entries = append(leaf.entries, entry{
+				id:   rng.Int63(),
+				addr: pagefile.DataAddr{Page: pagefile.PageID(rng.Uint32()), Slot: uint16(rng.Intn(100))},
+				mbr:  boxes[0].Clone(),
+				pcrs: boxes,
+			})
+		}
+		buf := make([]byte, pagefile.PageSize)
+		if err := tree.encodeNode(leaf, buf); err != nil {
+			return false
+		}
+		got, err := tree.decodeNode(5, buf)
+		if err != nil || len(got.entries) != n {
+			return false
+		}
+		for i := range leaf.entries {
+			a, b := &leaf.entries[i], &got.entries[i]
+			if a.id != b.id || a.addr != b.addr || !a.mbr.Equal(b.mbr) {
+				return false
+			}
+			for j := 0; j < m; j++ {
+				if !a.pcrs[j].Equal(b.pcrs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeNodeRejectsOverfull(t *testing.T) {
+	tree, _ := New(Options{Dim: 2})
+	n := &node{page: 1, level: 0}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i <= tree.leafCap; i++ { // one beyond capacity
+		n.entries = append(n.entries, entry{
+			id:  int64(i),
+			mbr: randRectIn(rng, 2, 100),
+			out: randCFB(rng, 2),
+			in:  randCFB(rng, 2),
+		})
+	}
+	buf := make([]byte, pagefile.PageSize)
+	if err := tree.encodeNode(n, buf); err == nil {
+		t.Fatal("overfull node serialized")
+	}
+}
+
+func TestDecodeNodeRejectsCorruptCount(t *testing.T) {
+	tree, _ := New(Options{Dim: 2})
+	buf := make([]byte, pagefile.PageSize)
+	buf[0] = 0   // leaf
+	buf[2] = 255 // count 255 > capacity
+	if _, err := tree.decodeNode(1, buf); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+}
+
+// TestEntrySizesMatchPaperArithmetic pins the storage arithmetic of
+// Section 6.3: 16 CFB values per 2D U-tree entry (24 in 3D) versus 2dm PCR
+// values per U-PCR entry.
+func TestEntrySizesMatchPaperArithmetic(t *testing.T) {
+	// d=2 U-tree: id(8)+addr(8)+MBR(32)+CFBs(16 floats = 128) = 176.
+	leaf, inner := entrySizes(UTree, 2, 15)
+	if leaf != 176 {
+		t.Errorf("U-tree 2D leaf entry = %d B, want 176", leaf)
+	}
+	if inner != 8+64 {
+		t.Errorf("U-tree 2D inner entry = %d B, want 72", inner)
+	}
+	// d=3 U-tree: CFBs are 24 floats.
+	leaf3, _ := entrySizes(UTree, 3, 15)
+	if leaf3 != 16+48+192 {
+		t.Errorf("U-tree 3D leaf entry = %d B, want 256", leaf3)
+	}
+	// d=2 U-PCR at m=9: 36 PCR values = 288 B + ids.
+	leafP, innerP := entrySizes(UPCR, 2, 9)
+	if leafP != 16+9*32 {
+		t.Errorf("U-PCR 2D leaf entry = %d B, want 304", leafP)
+	}
+	if innerP != 8+9*32 {
+		t.Errorf("U-PCR 2D inner entry = %d B, want 296", innerP)
+	}
+	// Fanout relations of Table 1's discussion.
+	lc, ic := capacities(UTree, 2, 15)
+	lcP, icP := capacities(UPCR, 2, 9)
+	if !(lc > lcP && ic > icP) {
+		t.Errorf("fanouts: U-tree %d/%d vs U-PCR %d/%d", lc, ic, lcP, icP)
+	}
+	// U-tree entry size is independent of the catalog size m.
+	a, _ := entrySizes(UTree, 2, 3)
+	b, _ := entrySizes(UTree, 2, 30)
+	if a != b {
+		t.Error("U-tree entry size depends on m (it must not)")
+	}
+}
+
+// TestInterpRectBounds verifies the linear e.MBR(p) interpolation agrees
+// with its endpoints and stays between them.
+func TestInterpRectBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		outer := randRectIn(rng, 2, 1000)
+		inner := geom.Rect{
+			Lo: geom.Point{outer.Lo[0] + outer.Side(0)*0.2, outer.Lo[1] + outer.Side(1)*0.3},
+			Hi: geom.Point{outer.Hi[0] - outer.Side(0)*0.25, outer.Hi[1] - outer.Side(1)*0.15},
+		}
+		if interpRect(outer, inner, 0).Equal(outer) != true {
+			t.Fatal("f=0 must return the first box")
+		}
+		if interpRect(outer, inner, 1).Equal(inner) != true {
+			t.Fatal("f=1 must return the second box")
+		}
+		for _, f := range []float64{0.25, 0.5, 0.75} {
+			mid := interpRect(outer, inner, f)
+			if !outer.Contains(mid) || !mid.Contains(inner) {
+				t.Fatalf("interp at %g escapes its bounds", f)
+			}
+		}
+	}
+}
+
+// TestBoxAtMonotoneShrink: for nested boundary boxes, boxAt(j) must shrink
+// (or stay equal) as j grows — the geometric property Observation 4 leans
+// on.
+func TestBoxAtMonotoneShrink(t *testing.T) {
+	tree, _ := New(Options{Dim: 2, CatalogSize: 8})
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		outer := randRectIn(rng, 2, 1000)
+		inner := geom.Rect{
+			Lo: geom.Point{outer.Lo[0] + outer.Side(0)*0.3, outer.Lo[1] + outer.Side(1)*0.3},
+			Hi: geom.Point{outer.Hi[0] - outer.Side(0)*0.3, outer.Hi[1] - outer.Side(1)*0.3},
+		}
+		boxes := []geom.Rect{outer, inner}
+		prevArea := math.Inf(1)
+		for j := 0; j < tree.cat.Size(); j++ {
+			b := tree.boxAt(boxes, j)
+			if !outer.Contains(b) {
+				t.Fatal("interpolated box escapes MBR⊥")
+			}
+			area := b.Area()
+			if area > prevArea+1e-9 {
+				t.Fatalf("boxAt grew from p_%d to p_%d", j-1, j)
+			}
+			prevArea = area
+		}
+	}
+}

@@ -1,0 +1,665 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/pcr"
+	"repro/internal/rstar"
+)
+
+// Options configures a Tree.
+type Options struct {
+	// Dim is the data dimensionality (required, ≥ 1).
+	Dim int
+	// Kind selects U-tree (default) or U-PCR.
+	Kind Kind
+	// CatalogSize m; 0 selects the paper defaults (15 for U-tree, 9 for
+	// U-PCR).
+	CatalogSize int
+	// Store supplies page storage; nil selects an in-memory store.
+	Store pagefile.Store
+	// BufferPages sizes the LRU pool (default 256).
+	BufferPages int
+	// MCSamples is n1 of Equation 3 for refinement (default 10000; the
+	// paper uses 10^6 — see DESIGN.md substitution 3).
+	MCSamples int
+	// ExactRefinement uses the pdf's exact-probability oracle instead of
+	// Monte Carlo when available (deterministic tests).
+	ExactRefinement bool
+	// Seed drives the refinement sampler (default 1).
+	Seed int64
+	// SplitStrategy selects how node splits sort entries (ablation knob;
+	// the default is the paper's median-value heuristic).
+	SplitStrategy SplitStrategy
+	// DisableReinsert turns off R* forced reinsertion (ablation knob).
+	DisableReinsert bool
+}
+
+// SplitStrategy selects the rectangles fed to the R* split during overflow
+// (Section 5.3 discusses the trade-off).
+type SplitStrategy int
+
+const (
+	// SplitMedian uses e.MBR(p_median) — the paper's heuristic avoiding one
+	// sort per catalog value.
+	SplitMedian SplitStrategy = iota
+	// SplitAtZero uses e.MBR(p_1) = e.MBR(0) only, ignoring the catalog —
+	// the naive adaptation the paper improves upon.
+	SplitAtZero
+	// SplitSummed runs the R* split at every catalog value and keeps the
+	// partition with the smallest summed overlap — the "ideal" split whose
+	// sorting cost the paper deems too expensive.
+	SplitSummed
+)
+
+// Tree is a paged uncertain-data index: the U-tree of the paper or its
+// U-PCR variant. Not safe for concurrent use.
+type Tree struct {
+	kind Kind
+	dim  int
+	cat  pcr.Catalog
+
+	store pagefile.Store
+	pool  *pagefile.BufferPool
+	data  *pagefile.DataFile
+
+	rootPage  pagefile.PageID
+	rootLevel int
+	size      int
+
+	leafCap, innerCap             int
+	leafEntrySize, innerEntrySize int
+	minLeaf, minInner             int
+	reinsertLeaf, reinsertInner   int
+
+	qcache  *pcr.QuantileCache
+	rng     *rand.Rand
+	samples int
+	exact   bool
+
+	splitStrategy   SplitStrategy
+	disableReinsert bool
+
+	// Logical I/O counters (reset via ResetCounters).
+	nodeReads  int64
+	nodeWrites int64
+
+	// Update statistics for the Fig. 11 experiment.
+	insertStats UpdateStats
+	deleteStats UpdateStats
+}
+
+// UpdateStats accumulates the paper's update-cost breakdown.
+type UpdateStats struct {
+	Ops        int64
+	PageReads  int64 // logical node reads
+	PageWrites int64 // logical node writes
+	CPUTime    time.Duration
+}
+
+// New creates an empty index.
+func New(opt Options) (*Tree, error) {
+	if opt.Dim < 1 {
+		return nil, fmt.Errorf("core: dimensionality %d", opt.Dim)
+	}
+	m := opt.CatalogSize
+	if m == 0 {
+		if opt.Kind == UPCR {
+			m = 9
+		} else {
+			m = 15
+		}
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("core: catalog size %d too small", m)
+	}
+	store := opt.Store
+	if store == nil {
+		store = pagefile.NewMemStore()
+	}
+	bufPages := opt.BufferPages
+	if bufPages == 0 {
+		bufPages = 256
+	}
+	samples := opt.MCSamples
+	if samples == 0 {
+		samples = 10000
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &Tree{
+		kind:    opt.Kind,
+		dim:     opt.Dim,
+		cat:     pcr.UniformCatalog(m),
+		store:   store,
+		qcache:  pcr.NewQuantileCache(),
+		rng:     rand.New(rand.NewSource(seed)),
+		samples: samples,
+		exact:   opt.ExactRefinement,
+
+		splitStrategy:   opt.SplitStrategy,
+		disableReinsert: opt.DisableReinsert,
+	}
+	t.pool = pagefile.NewBufferPool(store, bufPages)
+	t.data = pagefile.NewDataFile(store)
+	t.leafCap, t.innerCap = capacities(t.kind, t.dim, m)
+	t.leafEntrySize, t.innerEntrySize = entrySizes(t.kind, t.dim, m)
+	if t.leafCap < 4 || t.innerCap < 4 {
+		return nil, fmt.Errorf("core: %v with d=%d m=%d yields fanout %d/%d < 4; reduce the catalog",
+			t.kind, t.dim, m, t.leafCap, t.innerCap)
+	}
+	t.minLeaf = max1(t.leafCap * 2 / 5)
+	t.minInner = max1(t.innerCap * 2 / 5)
+	t.reinsertLeaf = max1(t.leafCap * 3 / 10)
+	t.reinsertInner = max1(t.innerCap * 3 / 10)
+
+	root, err := t.allocNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(root); err != nil {
+		return nil, err
+	}
+	t.rootPage = root.page
+	t.rootLevel = 0
+	return t, nil
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Kind returns the index variant.
+func (t *Tree) Kind() Kind { return t.kind }
+
+// Dim returns the data dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Catalog returns the U-catalog.
+func (t *Tree) Catalog() pcr.Catalog { return t.cat }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.rootLevel + 1 }
+
+// Fanout reports the leaf and intermediate node capacities (for Table 1
+// style reporting).
+func (t *Tree) Fanout() (leaf, inner int) { return t.leafCap, t.innerCap }
+
+// SizeBytes reports total pages × page size (index + data pages).
+func (t *Tree) SizeBytes() int64 {
+	return int64(t.store.NumPages()) * pagefile.PageSize
+}
+
+// IndexPages returns the number of tree pages (excludes data pages), walking
+// the tree; O(nodes).
+func (t *Tree) IndexPages() (int, error) {
+	count := 0
+	err := t.walk(t.rootPage, func(n *node) error {
+		count++
+		return nil
+	})
+	return count, err
+}
+
+// InsertStats and DeleteStats expose the accumulated update costs.
+func (t *Tree) InsertStats() UpdateStats { return t.insertStats }
+func (t *Tree) DeleteStats() UpdateStats { return t.deleteStats }
+
+// ResetCounters zeroes the logical I/O counters and update stats.
+func (t *Tree) ResetCounters() {
+	t.nodeReads, t.nodeWrites = 0, 0
+	t.insertStats = UpdateStats{}
+	t.deleteStats = UpdateStats{}
+}
+
+// NodeIO returns the logical node reads/writes since the last reset.
+func (t *Tree) NodeIO() (reads, writes int64) { return t.nodeReads, t.nodeWrites }
+
+// Flush writes all buffered pages through to the store.
+func (t *Tree) Flush() error { return t.pool.Flush() }
+
+// buildLeafEntry derives the leaf entry of an object: PCRs at the catalog
+// values, then CFBs (U-tree) or the PCR list itself (U-PCR).
+func (t *Tree) buildLeafEntry(o Object) (entry, error) {
+	if o.PDF.Dim() != t.dim {
+		return entry{}, fmt.Errorf("core: object dim %d, tree dim %d", o.PDF.Dim(), t.dim)
+	}
+	pcrs := pcr.Compute(o.PDF, t.cat, t.qcache)
+	e := entry{id: o.ID, mbr: o.PDF.MBR()}
+	if t.kind == UTree {
+		e.out = pcr.FitOut(pcrs)
+		e.in = pcr.FitIn(pcrs)
+	} else {
+		e.pcrs = pcrs.Boxes
+		// pcr(0) is the region MBR by construction; keep them identical so
+		// the shared serialization slot holds.
+		e.pcrs[0] = e.mbr.Clone()
+	}
+	return e, nil
+}
+
+// Insert adds an object to the index. The object's details (pdf parameters)
+// are appended to the data file and referenced from the leaf entry.
+func (t *Tree) Insert(o Object) error {
+	start := time.Now()
+	r0, w0 := t.nodeReads, t.nodeWrites
+
+	e, err := t.buildLeafEntry(o)
+	if err != nil {
+		return err
+	}
+	rec, err := encodeObject(o)
+	if err != nil {
+		return err
+	}
+	addr, err := t.data.Append(rec)
+	if err != nil {
+		return err
+	}
+	e.addr = addr
+
+	if err := t.insertEntry(e, 0, make(map[int]bool)); err != nil {
+		return err
+	}
+	t.size++
+
+	t.insertStats.Ops++
+	t.insertStats.PageReads += t.nodeReads - r0
+	t.insertStats.PageWrites += t.nodeWrites - w0
+	t.insertStats.CPUTime += time.Since(start)
+	return nil
+}
+
+// pathElem records one step of a root-to-node descent.
+type pathElem struct {
+	n        *node
+	childIdx int
+}
+
+// insertEntry places e on a node at the target level, handling overflow via
+// forced reinsertion (once per level per top-level operation) and splits.
+// An overfull node is never serialized: reinsertion/split shrink it in
+// memory first.
+func (t *Tree) insertEntry(e entry, level int, reinserted map[int]bool) error {
+	n, path, err := t.choosePath(e, level)
+	if err != nil {
+		return err
+	}
+	n.entries = append(n.entries, e)
+	capacity := t.leafCap
+	if !n.leaf() {
+		capacity = t.innerCap
+	}
+	if len(n.entries) <= capacity {
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		return t.refreshPath(path, n)
+	}
+	// Ancestors must cover the new entry regardless of how the overflow is
+	// resolved; n itself is rewritten by the overflow treatment.
+	if err := t.refreshPath(path, n); err != nil {
+		return err
+	}
+	return t.handleOverflow(n, path, reinserted)
+}
+
+// choosePath descends to the insertion node at the target level using the
+// summed-metric ChooseSubtree (Section 5.3), returning the node and the
+// root-to-parent path.
+func (t *Tree) choosePath(e entry, level int) (*node, []pathElem, error) {
+	n, err := t.readNode(t.rootPage)
+	if err != nil {
+		return nil, nil, err
+	}
+	eBoxes := t.boundary(&e, level == 0)
+	var path []pathElem
+	for n.level > level {
+		idx := t.chooseSubtree(n, eBoxes)
+		path = append(path, pathElem{n: n, childIdx: idx})
+		child, err := t.readNode(n.entries[idx].child)
+		if err != nil {
+			return nil, nil, err
+		}
+		n = child
+	}
+	return n, path, nil
+}
+
+// chooseSubtree picks the child entry of n minimizing the summed penalty:
+// overlap enlargement when children are leaves, else area enlargement, with
+// summed area as tiebreak (the R* criteria with each metric replaced by its
+// sum over the catalog, Section 5.3).
+func (t *Tree) chooseSubtree(n *node, eBoxes []geom.Rect) int {
+	m := t.cat.Size()
+	best := 0
+	if n.level == 1 {
+		bestOv, bestEnl, bestArea := inf(), inf(), inf()
+		for i := range n.entries {
+			grown := t.grownBoxes(n.entries[i].boxes, eBoxes)
+			var dOv float64
+			for j := 0; j < m; j++ {
+				gj := t.boxAt(grown, j)
+				oj := t.boxAt(n.entries[i].boxes, j)
+				for k := range n.entries {
+					if k == i {
+						continue
+					}
+					other := t.boxAt(n.entries[k].boxes, j)
+					dOv += gj.Overlap(other) - oj.Overlap(other)
+				}
+			}
+			enl := t.summedEnlargement(n.entries[i].boxes, grown)
+			area := t.summedArea(n.entries[i].boxes)
+			if dOv < bestOv || (dOv == bestOv && enl < bestEnl) ||
+				(dOv == bestOv && enl == bestEnl && area < bestArea) {
+				bestOv, bestEnl, bestArea, best = dOv, enl, area, i
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := inf(), inf()
+	for i := range n.entries {
+		grown := t.grownBoxes(n.entries[i].boxes, eBoxes)
+		enl := t.summedEnlargement(n.entries[i].boxes, grown)
+		area := t.summedArea(n.entries[i].boxes)
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			bestEnl, bestArea, best = enl, area, i
+		}
+	}
+	return best
+}
+
+func inf() float64 { return 1e308 }
+
+// grownBoxes returns the parent boundary boxes after absorbing eBoxes.
+// Both sets share the same length (2 for U-tree, m for U-PCR).
+func (t *Tree) grownBoxes(parent, eBoxes []geom.Rect) []geom.Rect {
+	g := cloneBoxes(parent)
+	unionBoundaries(g, eBoxes)
+	return g
+}
+
+// summedArea is Σ_j AREA(boxAt(j)).
+func (t *Tree) summedArea(boxes []geom.Rect) float64 {
+	var s float64
+	for j := 0; j < t.cat.Size(); j++ {
+		s += t.boxAt(boxes, j).Area()
+	}
+	return s
+}
+
+// summedMargin is Σ_j MARGIN(boxAt(j)).
+func (t *Tree) summedMargin(boxes []geom.Rect) float64 {
+	var s float64
+	for j := 0; j < t.cat.Size(); j++ {
+		s += t.boxAt(boxes, j).Margin()
+	}
+	return s
+}
+
+// summedEnlargement is Σ_j [AREA(grown_j) − AREA(old_j)].
+func (t *Tree) summedEnlargement(old, grown []geom.Rect) float64 {
+	var s float64
+	for j := 0; j < t.cat.Size(); j++ {
+		s += t.boxAt(grown, j).Area() - t.boxAt(old, j).Area()
+	}
+	return s
+}
+
+// summedCenterDist is Σ_j CDIST(aBoxes_j, bBoxes_j).
+func (t *Tree) summedCenterDist(a, b []geom.Rect) float64 {
+	var s float64
+	for j := 0; j < t.cat.Size(); j++ {
+		s += t.boxAt(a, j).CenterDist(t.boxAt(b, j))
+	}
+	return s
+}
+
+// nodeBoundary computes a node's boundary boxes (union over its entries).
+func (t *Tree) nodeBoundary(n *node) []geom.Rect {
+	b := cloneBoxes(t.boundary(&n.entries[0], n.leaf()))
+	for i := 1; i < len(n.entries); i++ {
+		unionBoundaries(b, t.boundary(&n.entries[i], n.leaf()))
+	}
+	return b
+}
+
+// refreshPath recomputes the parent entries' boxes bottom-up along the
+// descent path after child mutation.
+func (t *Tree) refreshPath(path []pathElem, target *node) error {
+	child := target
+	for i := len(path) - 1; i >= 0; i-- {
+		pe := path[i]
+		pe.n.entries[pe.childIdx].boxes = t.nodeBoundary(child)
+		if err := t.writeNode(pe.n); err != nil {
+			return err
+		}
+		child = pe.n
+	}
+	return nil
+}
+
+// handleOverflow applies R* overflow treatment: forced reinsertion the
+// first time a level overflows within one top-level operation (never for
+// the root), split otherwise.
+func (t *Tree) handleOverflow(n *node, path []pathElem, reinserted map[int]bool) error {
+	capByLevel := t.leafCap
+	if !n.leaf() {
+		capByLevel = t.innerCap
+	}
+	if len(n.entries) <= capByLevel {
+		return nil
+	}
+	if len(path) > 0 && !reinserted[n.level] && !t.disableReinsert {
+		reinserted[n.level] = true
+		return t.forceReinsert(n, path, reinserted)
+	}
+	return t.split(n, path, reinserted)
+}
+
+// forceReinsert removes the 30% of entries whose summed centroid distance
+// from the node's boundary is largest, then reinserts them closest-first.
+func (t *Tree) forceReinsert(n *node, path []pathElem, reinserted map[int]bool) error {
+	nodeBoxes := t.nodeBoundary(n)
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(n.entries))
+	for i := range n.entries {
+		cands[i] = cand{i, t.summedCenterDist(t.boundary(&n.entries[i], n.leaf()), nodeBoxes)}
+	}
+	// Selection-sort the p farthest (p is small).
+	p := t.reinsertLeaf
+	if !n.leaf() {
+		p = t.reinsertInner
+	}
+	for i := 0; i < p; i++ {
+		maxJ := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].dist > cands[maxJ].dist {
+				maxJ = j
+			}
+		}
+		cands[i], cands[maxJ] = cands[maxJ], cands[i]
+	}
+	removeSet := make(map[int]bool, p)
+	removed := make([]entry, 0, p)
+	for i := 0; i < p; i++ {
+		removeSet[cands[i].idx] = true
+	}
+	kept := make([]entry, 0, len(n.entries)-p)
+	for i := range n.entries {
+		if removeSet[i] {
+			removed = append(removed, n.entries[i])
+		} else {
+			kept = append(kept, n.entries[i])
+		}
+	}
+	n.entries = kept
+	if err := t.writeNode(n); err != nil {
+		return err
+	}
+	if err := t.refreshPath(path, n); err != nil {
+		return err
+	}
+	// Close reinsert: the selection placed the farthest first; reinsert in
+	// reverse so the closest go back in first.
+	for i := len(removed) - 1; i >= 0; i-- {
+		if err := t.insertEntry(removed[i], n.level, reinserted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// split divides an overflowing node. Per Section 5.3, the entry
+// distribution is decided by the R* split applied to the e.MBR(p_median)
+// rectangles of the node's entries (other strategies available as ablation
+// knobs).
+func (t *Tree) split(n *node, path []pathElem, reinserted map[int]bool) error {
+	minFill := t.minLeaf
+	if !n.leaf() {
+		minFill = t.minInner
+	}
+	li, ri := t.chooseSplit(n, minFill)
+	left := make([]entry, 0, len(li))
+	right := make([]entry, 0, len(ri))
+	for _, i := range li {
+		left = append(left, n.entries[i])
+	}
+	for _, i := range ri {
+		right = append(right, n.entries[i])
+	}
+	n.entries = left
+	sib, err := t.allocNode(n.level)
+	if err != nil {
+		return err
+	}
+	sib.entries = right
+	if err := t.writeNode(n); err != nil {
+		return err
+	}
+	if err := t.writeNode(sib); err != nil {
+		return err
+	}
+
+	if len(path) == 0 {
+		// Root split: grow the tree.
+		newRoot, err := t.allocNode(n.level + 1)
+		if err != nil {
+			return err
+		}
+		newRoot.entries = []entry{
+			{child: n.page, boxes: t.nodeBoundary(n)},
+			{child: sib.page, boxes: t.nodeBoundary(sib)},
+		}
+		if err := t.writeNode(newRoot); err != nil {
+			return err
+		}
+		t.rootPage = newRoot.page
+		t.rootLevel = newRoot.level
+		return nil
+	}
+
+	parent := path[len(path)-1]
+	parent.n.entries[parent.childIdx].boxes = t.nodeBoundary(n)
+	parent.n.entries = append(parent.n.entries, entry{child: sib.page, boxes: t.nodeBoundary(sib)})
+	if len(parent.n.entries) <= t.innerCap {
+		if err := t.writeNode(parent.n); err != nil {
+			return err
+		}
+		return t.refreshPath(path[:len(path)-1], parent.n)
+	}
+	if err := t.refreshPath(path[:len(path)-1], parent.n); err != nil {
+		return err
+	}
+	return t.handleOverflow(parent.n, path[:len(path)-1], reinserted)
+}
+
+// chooseSplit returns the two index groups for splitting node n according
+// to the tree's split strategy.
+func (t *Tree) chooseSplit(n *node, minFill int) (left, right []int) {
+	boundaries := make([][]geom.Rect, len(n.entries))
+	for i := range n.entries {
+		boundaries[i] = t.boundary(&n.entries[i], n.leaf())
+	}
+	rectsAt := func(j int) []geom.Rect {
+		rects := make([]geom.Rect, len(boundaries))
+		for i := range boundaries {
+			rects[i] = t.boxAt(boundaries[i], j)
+		}
+		return rects
+	}
+	switch t.splitStrategy {
+	case SplitAtZero:
+		return rstar.SplitGroups(rectsAt(0), minFill)
+	case SplitSummed:
+		// Evaluate the R* split at every catalog value, score each
+		// partition by its summed group overlap, keep the best.
+		bestScore := inf()
+		for j := 0; j < t.cat.Size(); j++ {
+			li, ri := rstar.SplitGroups(rectsAt(j), minFill)
+			score := t.partitionOverlap(boundaries, li, ri)
+			if score < bestScore {
+				bestScore = score
+				left, right = li, ri
+			}
+		}
+		return left, right
+	default: // SplitMedian — the paper's heuristic.
+		return rstar.SplitGroups(rectsAt(t.cat.MedianIndex()), minFill)
+	}
+}
+
+// partitionOverlap scores a candidate split: Σ_j OVERLAP(mbr(left, j),
+// mbr(right, j)).
+func (t *Tree) partitionOverlap(boundaries [][]geom.Rect, li, ri []int) float64 {
+	groupBoxes := func(idx []int) []geom.Rect {
+		g := cloneBoxes(boundaries[idx[0]])
+		for _, i := range idx[1:] {
+			unionBoundaries(g, boundaries[i])
+		}
+		return g
+	}
+	lb := groupBoxes(li)
+	rb := groupBoxes(ri)
+	var s float64
+	for j := 0; j < t.cat.Size(); j++ {
+		s += t.boxAt(lb, j).Overlap(t.boxAt(rb, j))
+	}
+	return s
+}
+
+// walk visits every node of the tree.
+func (t *Tree) walk(page pagefile.PageID, fn func(*node) error) error {
+	n, err := t.readNode(page)
+	if err != nil {
+		return err
+	}
+	if err := fn(n); err != nil {
+		return err
+	}
+	if n.leaf() {
+		return nil
+	}
+	for i := range n.entries {
+		if err := t.walk(n.entries[i].child, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

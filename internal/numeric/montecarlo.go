@@ -1,0 +1,53 @@
+package numeric
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// UniformRegionSampler yields points uniformly distributed over an
+// uncertainty region; it is the sampling primitive of the paper's
+// Monte-Carlo evaluation (Section 3).
+type UniformRegionSampler interface {
+	// SampleUniform draws a point uniformly from the region into dst
+	// (which has the region's dimensionality).
+	SampleUniform(rng *rand.Rand, dst geom.Point)
+}
+
+// DensityFunc evaluates an (unnormalized or normalized) pdf at a point.
+type DensityFunc func(geom.Point) float64
+
+// MonteCarloResult carries the estimate together with the bookkeeping the
+// experiments report.
+type MonteCarloResult struct {
+	P       float64 // estimated appearance probability
+	Samples int     // n1 of Equation 3
+	Hits    int     // n2 of Equation 3 (samples falling in the query rect)
+}
+
+// MonteCarloAppearance estimates Equation 3 of the paper:
+//
+//	P_app ≈ Σ_{x_i ∈ r_q} pdf(x_i) / Σ_i pdf(x_i)
+//
+// with n1 points drawn uniformly from the uncertainty region. When the whole
+// region lies inside rq the estimate is exactly 1 (n2 = n1), mirroring the
+// special case the paper notes.
+func MonteCarloAppearance(sampler UniformRegionSampler, pdf DensityFunc, dim int, rq geom.Rect, n1 int, rng *rand.Rand) MonteCarloResult {
+	x := make(geom.Point, dim)
+	var num, den float64
+	hits := 0
+	for i := 0; i < n1; i++ {
+		sampler.SampleUniform(rng, x)
+		w := pdf(x)
+		den += w
+		if rq.ContainsPoint(x) {
+			num += w
+			hits++
+		}
+	}
+	if den == 0 {
+		return MonteCarloResult{P: 0, Samples: n1, Hits: hits}
+	}
+	return MonteCarloResult{P: num / den, Samples: n1, Hits: hits}
+}

@@ -1,0 +1,241 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestAdaptiveSimpsonPolynomial(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3. Simpson is exact for cubics.
+	v, err := AdaptiveSimpson(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.0/3) > 1e-12 {
+		t.Fatalf("∫x² = %g, want 1/3", v)
+	}
+}
+
+func TestAdaptiveSimpsonTranscendental(t *testing.T) {
+	// ∫₀^π sin x dx = 2.
+	v, err := AdaptiveSimpson(math.Sin, 0, math.Pi, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-9 {
+		t.Fatalf("∫sin = %.15g, want 2", v)
+	}
+}
+
+func TestAdaptiveSimpsonGaussian(t *testing.T) {
+	// ∫_{-8}^{8} φ(x) dx ≈ 1.
+	v, err := AdaptiveSimpson(NormalPDF, -8, 8, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-10 {
+		t.Fatalf("∫φ = %.15g, want 1", v)
+	}
+}
+
+func TestAdaptiveSimpsonReversedAndEmpty(t *testing.T) {
+	v, err := AdaptiveSimpson(math.Sin, math.Pi, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v+2) > 1e-9 {
+		t.Fatalf("reversed ∫sin = %g, want -2", v)
+	}
+	v, err = AdaptiveSimpson(math.Sin, 1, 1, 1e-10)
+	if err != nil || v != 0 {
+		t.Fatalf("empty interval = %g err=%v", v, err)
+	}
+}
+
+func TestAdaptiveSimpsonSemicircle(t *testing.T) {
+	// ∫_{-1}^{1} √(1-x²) dx = π/2. Endpoint derivative blowup exercises the
+	// adaptivity.
+	f := func(x float64) float64 { return math.Sqrt(math.Max(0, 1-x*x)) }
+	v, err := AdaptiveSimpson(f, -1, 1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Pi/2) > 1e-7 {
+		t.Fatalf("semicircle = %.12g, want %.12g", v, math.Pi/2)
+	}
+}
+
+func TestBisectBasic(t *testing.T) {
+	x, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-11 {
+		t.Fatalf("root = %.15g, want √2", x)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-12); err != nil || x != 0 {
+		t.Fatalf("endpoint root lo: %g, %v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-12); err != nil || x != 0 {
+		t.Fatalf("endpoint root hi: %g, %v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectMonotoneCDFStyle(t *testing.T) {
+	// Invert Φ at several quantiles via bisection; compare round trip.
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x, err := Bisect(func(x float64) float64 { return NormalCDF(x) - p }, -10, 10, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-10 {
+			t.Fatalf("Φ(Φ⁻¹(%g)) = %g", p, got)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Φ(%g) = %.16g, want %.16g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalIntervalMass(t *testing.T) {
+	// Whole line ≈ 1; empty interval = 0; symmetric interval matches 2Φ(z)-1.
+	if got := NormalIntervalMass(0, 1, -40, 40); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full mass = %g", got)
+	}
+	if got := NormalIntervalMass(0, 1, 3, 1); got != 0 {
+		t.Fatalf("inverted interval = %g, want 0", got)
+	}
+	want := 2*NormalCDF(1) - 1
+	if got := NormalIntervalMass(5, 2, 3, 7); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("μ=5 σ=2 mass = %g, want %g", got, want)
+	}
+}
+
+func TestPropertyNormalCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return NormalCDF(lo) <= NormalCDF(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// boxSampler samples uniformly in a rectangle — a trivial region for testing
+// the Monte-Carlo machinery.
+type boxSampler struct{ r geom.Rect }
+
+func (b boxSampler) SampleUniform(rng *rand.Rand, dst geom.Point) {
+	for i := range dst {
+		dst[i] = b.r.Lo[i] + rng.Float64()*(b.r.Hi[i]-b.r.Lo[i])
+	}
+}
+
+func TestMonteCarloUniformBox(t *testing.T) {
+	// Uniform pdf on [0,1]²; query covers the left half: P = 0.5 exactly.
+	region := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rq := geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 1})
+	rng := rand.New(rand.NewSource(42))
+	res := MonteCarloAppearance(boxSampler{region}, func(geom.Point) float64 { return 1 }, 2, rq, 200000, rng)
+	if math.Abs(res.P-0.5) > 0.01 {
+		t.Fatalf("P = %g, want ≈0.5", res.P)
+	}
+	if res.Samples != 200000 || res.Hits <= 0 || res.Hits >= res.Samples {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+}
+
+func TestMonteCarloFullContainmentExactlyOne(t *testing.T) {
+	region := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rq := geom.NewRect(geom.Point{-1, -1}, geom.Point{2, 2})
+	rng := rand.New(rand.NewSource(7))
+	res := MonteCarloAppearance(boxSampler{region}, func(geom.Point) float64 { return 3.7 }, 2, rq, 1000, rng)
+	if res.P != 1 {
+		t.Fatalf("P = %g, want exactly 1 (n2 = n1 special case)", res.P)
+	}
+	if res.Hits != res.Samples {
+		t.Fatalf("hits = %d, samples = %d", res.Hits, res.Samples)
+	}
+}
+
+func TestMonteCarloDisjointZero(t *testing.T) {
+	region := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rq := geom.NewRect(geom.Point{5, 5}, geom.Point{6, 6})
+	rng := rand.New(rand.NewSource(7))
+	res := MonteCarloAppearance(boxSampler{region}, func(geom.Point) float64 { return 1 }, 2, rq, 1000, rng)
+	if res.P != 0 || res.Hits != 0 {
+		t.Fatalf("disjoint query: %+v", res)
+	}
+}
+
+func TestMonteCarloWeightedPDF(t *testing.T) {
+	// pdf(x,y) ∝ x on [0,1]²; P(x ≤ 1/2) = ∫₀^½ x dx / ∫₀¹ x dx = 1/4.
+	region := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rq := geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 1})
+	rng := rand.New(rand.NewSource(99))
+	res := MonteCarloAppearance(boxSampler{region}, func(p geom.Point) float64 { return p[0] }, 2, rq, 400000, rng)
+	if math.Abs(res.P-0.25) > 0.01 {
+		t.Fatalf("P = %g, want ≈0.25", res.P)
+	}
+}
+
+func TestMonteCarloZeroDensity(t *testing.T) {
+	region := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rq := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rng := rand.New(rand.NewSource(1))
+	res := MonteCarloAppearance(boxSampler{region}, func(geom.Point) float64 { return 0 }, 2, rq, 100, rng)
+	if res.P != 0 {
+		t.Fatalf("zero-density pdf should give P=0, got %g", res.P)
+	}
+}
+
+func TestMonteCarloErrorShrinksWithSamples(t *testing.T) {
+	// Relative error at n=100 should comfortably exceed error at n=100000
+	// for a P=0.5 target (averaged over trials). This is the Fig. 7 shape.
+	region := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1})
+	rq := geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 1})
+	avgErr := func(n, trials int, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var sum float64
+		for i := 0; i < trials; i++ {
+			res := MonteCarloAppearance(boxSampler{region}, func(geom.Point) float64 { return 1 }, 2, rq, n, rng)
+			sum += math.Abs(res.P-0.5) / 0.5
+		}
+		return sum / float64(trials)
+	}
+	small := avgErr(100, 30, 5)
+	large := avgErr(100000, 30, 6)
+	if large >= small {
+		t.Fatalf("error did not shrink: n=100 → %g, n=100000 → %g", small, large)
+	}
+}

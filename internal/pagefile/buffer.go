@@ -1,0 +1,120 @@
+package pagefile
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool is a write-back LRU page cache over a Store. It exists as a
+// performance layer: the experiments count *logical* node accesses the way
+// the paper does, while the pool keeps repeated physical reads cheap.
+//
+// Access discipline: Get returns the pool's internal frame; callers must
+// finish with the slice before the next pool call (the trees deserialize
+// immediately). Not safe for concurrent use — wrap externally if needed.
+type BufferPool struct {
+	store    Store
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recent
+	hits     int64
+	misses   int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool wraps store with an LRU cache of the given page capacity
+// (minimum 1).
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the page contents, reading through on a miss.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	if el, ok := bp.frames[id]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	bp.misses++
+	fr := &frame{id: id, data: make([]byte, PageSize)}
+	if err := bp.store.Read(id, fr.data); err != nil {
+		return nil, err
+	}
+	if err := bp.insert(fr); err != nil {
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+// Put stores page contents (marking the frame dirty; flushed on eviction or
+// Flush).
+func (bp *BufferPool) Put(id PageID, data []byte) error {
+	if len(data) != PageSize {
+		return ErrBadLength
+	}
+	if el, ok := bp.frames[id]; ok {
+		fr := el.Value.(*frame)
+		copy(fr.data, data)
+		fr.dirty = true
+		bp.lru.MoveToFront(el)
+		return nil
+	}
+	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true}
+	copy(fr.data, data)
+	return bp.insert(fr)
+}
+
+func (bp *BufferPool) insert(fr *frame) error {
+	for bp.lru.Len() >= bp.capacity {
+		back := bp.lru.Back()
+		victim := back.Value.(*frame)
+		if victim.dirty {
+			if err := bp.store.Write(victim.id, victim.data); err != nil {
+				return fmt.Errorf("pagefile: evicting page %d: %w", victim.id, err)
+			}
+		}
+		bp.lru.Remove(back)
+		delete(bp.frames, victim.id)
+	}
+	bp.frames[fr.id] = bp.lru.PushFront(fr)
+	return nil
+}
+
+// Invalidate drops a page from the cache without writing it back; used when
+// the underlying page is freed.
+func (bp *BufferPool) Invalidate(id PageID) {
+	if el, ok := bp.frames[id]; ok {
+		bp.lru.Remove(el)
+		delete(bp.frames, id)
+	}
+}
+
+// Flush writes back every dirty frame.
+func (bp *BufferPool) Flush() error {
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := bp.store.Write(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// HitRate reports cache effectiveness (hits, misses).
+func (bp *BufferPool) HitRate() (hits, misses int64) { return bp.hits, bp.misses }

@@ -1,0 +1,167 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DataFile stores variable-length object-detail records (serialized
+// uncertainty region + pdf parameters) in slotted pages. U-tree leaf
+// entries keep a DataAddr; the refinement step groups candidates by page so
+// each data page is read once per query — exactly the paper's "elements in
+// S_can are first grouped by their associated disk addresses".
+type DataFile struct {
+	store   Store
+	current PageID // page still accepting appends; InvalidPage when none
+}
+
+// DataAddr is the disk address of one record.
+type DataAddr struct {
+	Page PageID
+	Slot uint16
+}
+
+// Errors returned by DataFile.
+var (
+	ErrRecordTooLarge = errors.New("pagefile: record exceeds page capacity")
+	ErrBadSlot        = errors.New("pagefile: slot out of range or deleted")
+)
+
+// Slotted page layout:
+//
+//	[0:2)  count  — number of slots
+//	[2:4)  free   — offset of free space start
+//	then per slot i: [4+4i : 4+4i+2) offset, [4+4i+2 : 4+4i+4) length
+//	(length 0 marks a deleted record)
+//	records grow upward from the slot directory's end.
+const dataHeader = 4
+
+// NewDataFile creates a data file on the given store.
+func NewDataFile(store Store) *DataFile {
+	return &DataFile{store: store, current: InvalidPage}
+}
+
+// OpenDataFileAt resumes appending to an existing data file whose last page
+// is `last` (InvalidPage for none).
+func OpenDataFileAt(store Store, last PageID) *DataFile {
+	return &DataFile{store: store, current: last}
+}
+
+// CurrentPage exposes the append page (persisted by index headers).
+func (df *DataFile) CurrentPage() PageID { return df.current }
+
+// Append stores rec and returns its address. Records larger than a page's
+// usable space are rejected.
+func (df *DataFile) Append(rec []byte) (DataAddr, error) {
+	need := len(rec) + 4 // record + slot entry
+	if dataHeader+need > PageSize {
+		return DataAddr{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	buf := make([]byte, PageSize)
+	if df.current != InvalidPage {
+		if err := df.store.Read(df.current, buf); err != nil {
+			return DataAddr{}, err
+		}
+		if addr, ok, err := df.tryAppend(df.current, buf, rec); err != nil || ok {
+			return addr, err
+		}
+	}
+	id, err := df.store.Alloc()
+	if err != nil {
+		return DataAddr{}, err
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint16(buf[2:], PageSize) // free space grows down
+	df.current = id
+	addr, ok, err := df.tryAppend(id, buf, rec)
+	if err != nil {
+		return DataAddr{}, err
+	}
+	if !ok {
+		return DataAddr{}, ErrRecordTooLarge
+	}
+	return addr, nil
+}
+
+func (df *DataFile) tryAppend(id PageID, buf, rec []byte) (DataAddr, bool, error) {
+	count := int(binary.LittleEndian.Uint16(buf[0:]))
+	free := int(binary.LittleEndian.Uint16(buf[2:]))
+	if free == 0 {
+		free = PageSize
+	}
+	dirEnd := dataHeader + 4*(count+1)
+	if free-len(rec) < dirEnd {
+		return DataAddr{}, false, nil
+	}
+	off := free - len(rec)
+	copy(buf[off:], rec)
+	binary.LittleEndian.PutUint16(buf[dataHeader+4*count:], uint16(off))
+	binary.LittleEndian.PutUint16(buf[dataHeader+4*count+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(buf[0:], uint16(count+1))
+	binary.LittleEndian.PutUint16(buf[2:], uint16(off))
+	if err := df.store.Write(id, buf); err != nil {
+		return DataAddr{}, false, err
+	}
+	return DataAddr{Page: id, Slot: uint16(count)}, true, nil
+}
+
+// Read returns one record.
+func (df *DataFile) Read(addr DataAddr) ([]byte, error) {
+	buf := make([]byte, PageSize)
+	if err := df.store.Read(addr.Page, buf); err != nil {
+		return nil, err
+	}
+	return recordFromPage(buf, addr.Slot)
+}
+
+// ReadPage returns the raw page for addr.Page in one I/O; use
+// RecordFromPage to extract multiple candidates that share the page.
+func (df *DataFile) ReadPage(id PageID) ([]byte, error) {
+	buf := make([]byte, PageSize)
+	if err := df.store.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// RecordFromPage extracts slot `slot` from a page previously returned by
+// ReadPage, without further I/O.
+func RecordFromPage(page []byte, slot uint16) ([]byte, error) {
+	return recordFromPage(page, slot)
+}
+
+func recordFromPage(buf []byte, slot uint16) ([]byte, error) {
+	count := binary.LittleEndian.Uint16(buf[0:])
+	if slot >= count {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, count)
+	}
+	off := int(binary.LittleEndian.Uint16(buf[dataHeader+4*int(slot):]))
+	ln := int(binary.LittleEndian.Uint16(buf[dataHeader+4*int(slot)+2:]))
+	if ln == 0 {
+		return nil, fmt.Errorf("%w: slot %d deleted", ErrBadSlot, slot)
+	}
+	if off+ln > PageSize {
+		return nil, fmt.Errorf("pagefile: corrupt slot %d (off=%d len=%d)", slot, off, ln)
+	}
+	out := make([]byte, ln)
+	copy(out, buf[off:off+ln])
+	return out, nil
+}
+
+// Delete tombstones a record (its space is not reclaimed; compaction is a
+// rebuild concern, as in the paper where object details are write-once).
+func (df *DataFile) Delete(addr DataAddr) error {
+	buf := make([]byte, PageSize)
+	if err := df.store.Read(addr.Page, buf); err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint16(buf[0:])
+	if addr.Slot >= count {
+		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, addr.Slot, count)
+	}
+	binary.LittleEndian.PutUint16(buf[dataHeader+4*int(addr.Slot)+2:], 0)
+	return df.store.Write(addr.Page, buf)
+}

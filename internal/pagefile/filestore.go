@@ -1,0 +1,171 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is a file-backed Store. Page 0 is a metadata page holding the
+// magic, page count and free-list head; user pages start at 1. Freed pages
+// form an intrusive linked list threaded through their first four bytes, so
+// a reopened file recovers its allocator state without a separate bitmap.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	numPages int // total pages including the header
+	freeHead PageID
+	liveN    int
+	stats    Stats
+}
+
+const fileMagic = 0x55545245 // "UTRE"
+
+// ErrBadMagic is returned when opening a file that is not a page file.
+var ErrBadMagic = errors.New("pagefile: bad magic (not a page file)")
+
+// CreateFileStore creates (truncating) a file-backed store at path.
+func CreateFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileStore{f: f, numPages: 1, freeHead: InvalidPage}
+	if err := fs.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// OpenFileStore opens an existing store.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileStore{f: f}
+	buf := make([]byte, PageSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != fileMagic {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	fs.numPages = int(binary.LittleEndian.Uint32(buf[4:]))
+	fs.freeHead = PageID(binary.LittleEndian.Uint32(buf[8:]))
+	fs.liveN = int(binary.LittleEndian.Uint32(buf[12:]))
+	return fs, nil
+}
+
+func (fs *FileStore) writeHeader() error {
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(buf[0:], fileMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(fs.numPages))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(fs.freeHead))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(fs.liveN))
+	_, err := fs.f.WriteAt(buf, 0)
+	return err
+}
+
+// Close flushes the header and closes the file.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.writeHeader(); err != nil {
+		fs.f.Close()
+		return err
+	}
+	return fs.f.Close()
+}
+
+func (fs *FileStore) Alloc() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.Allocs.Add(1)
+	zero := make([]byte, PageSize)
+	if fs.freeHead != InvalidPage {
+		id := fs.freeHead
+		buf := make([]byte, PageSize)
+		if _, err := fs.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+			return InvalidPage, err
+		}
+		fs.freeHead = PageID(binary.LittleEndian.Uint32(buf[0:]))
+		if _, err := fs.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+			return InvalidPage, err
+		}
+		fs.liveN++
+		return id, fs.writeHeader()
+	}
+	id := PageID(fs.numPages)
+	if _, err := fs.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return InvalidPage, err
+	}
+	fs.numPages++
+	fs.liveN++
+	return id, fs.writeHeader()
+}
+
+func (fs *FileStore) checkRange(id PageID) error {
+	if id == 0 || int(id) >= fs.numPages {
+		return fmt.Errorf("%w: %d", ErrPageOutOfRange, id)
+	}
+	return nil
+}
+
+func (fs *FileStore) Read(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadLength
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkRange(id); err != nil {
+		return err
+	}
+	fs.stats.Reads.Add(1)
+	_, err := fs.f.ReadAt(buf, int64(id)*PageSize)
+	return err
+}
+
+func (fs *FileStore) Write(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return ErrBadLength
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkRange(id); err != nil {
+		return err
+	}
+	fs.stats.Writes.Add(1)
+	_, err := fs.f.WriteAt(buf, int64(id)*PageSize)
+	return err
+}
+
+func (fs *FileStore) Free(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkRange(id); err != nil {
+		return err
+	}
+	fs.stats.Frees.Add(1)
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(fs.freeHead))
+	if _, err := fs.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return err
+	}
+	fs.freeHead = id
+	fs.liveN--
+	return fs.writeHeader()
+}
+
+func (fs *FileStore) NumPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.liveN
+}
+
+func (fs *FileStore) Stats() *Stats { return &fs.stats }

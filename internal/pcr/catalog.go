@@ -1,0 +1,124 @@
+// Package pcr implements the filtering layer of the U-tree paper:
+// probabilistically constrained regions (PCRs, Section 4.1), the finite
+// U-catalog rules (Observation 2, Section 4.2), conservative functional
+// boxes (CFBs, Sections 4.3–4.4) fitted by linear programming, and the
+// CFB-based rules (Observation 3). It also provides the exact
+// (continuous-p) rules of Observation 1 used for testing and for
+// no-catalog baselines.
+package pcr
+
+import (
+	"fmt"
+	"math"
+)
+
+// catalogEps absorbs floating-point noise when matching query thresholds
+// against catalog values.
+const catalogEps = 1e-12
+
+// Catalog is the U-catalog: probability values p_1 < p_2 < … < p_m in
+// [0, 0.5] at which PCRs are pre-computed. The paper (and the e.MBR(p)
+// derivation in Section 5.1) requires p_1 = 0.
+type Catalog struct {
+	values []float64
+}
+
+// UniformCatalog returns the paper's evenly spaced catalog
+// {0, 0.5/(m−1), …, 0.5}; the U-PCR experiments use m ∈ [3,12] and the
+// U-tree uses m = 15 (values j/28).
+func UniformCatalog(m int) Catalog {
+	if m < 2 {
+		panic(fmt.Sprintf("pcr: catalog needs at least 2 values, got %d", m))
+	}
+	v := make([]float64, m)
+	for j := 0; j < m; j++ {
+		v[j] = 0.5 * float64(j) / float64(m-1)
+	}
+	return Catalog{values: v}
+}
+
+// NewCatalog builds a catalog from explicit values, validating the paper's
+// requirements: sorted ascending, within [0, 0.5], first value 0.
+func NewCatalog(values []float64) (Catalog, error) {
+	if len(values) < 2 {
+		return Catalog{}, fmt.Errorf("pcr: catalog needs at least 2 values, got %d", len(values))
+	}
+	if values[0] != 0 {
+		return Catalog{}, fmt.Errorf("pcr: catalog must start at 0, got %g", values[0])
+	}
+	for i, v := range values {
+		if v < 0 || v > 0.5 {
+			return Catalog{}, fmt.Errorf("pcr: catalog value %g outside [0, 0.5]", v)
+		}
+		if i > 0 && v <= values[i-1] {
+			return Catalog{}, fmt.Errorf("pcr: catalog not strictly ascending at index %d", i)
+		}
+	}
+	return Catalog{values: append([]float64(nil), values...)}, nil
+}
+
+// Size returns m, the number of catalog values.
+func (c Catalog) Size() int { return len(c.values) }
+
+// Value returns p_j (0-based j).
+func (c Catalog) Value(j int) float64 { return c.values[j] }
+
+// Values returns a copy of the catalog values.
+func (c Catalog) Values() []float64 { return append([]float64(nil), c.values...) }
+
+// Max returns p_m, the largest catalog value.
+func (c Catalog) Max() float64 { return c.values[len(c.values)-1] }
+
+// Sum returns P = Σ p_j, the constant appearing in the CFB objective
+// (Formula 11).
+func (c Catalog) Sum() float64 {
+	var s float64
+	for _, v := range c.values {
+		s += v
+	}
+	return s
+}
+
+// MedianIndex returns the index of the median catalog value p_{⌈m/2⌉}, the
+// value the U-tree split sorts by (Section 5.3).
+func (c Catalog) MedianIndex() int { return len(c.values) / 2 }
+
+// LargestLE returns the index of the largest catalog value ≤ x, with ok
+// false when every value exceeds x.
+func (c Catalog) LargestLE(x float64) (int, bool) {
+	x += catalogEps
+	idx, ok := -1, false
+	for j, v := range c.values {
+		if v <= x {
+			idx, ok = j, true
+		} else {
+			break
+		}
+	}
+	return idx, ok
+}
+
+// SmallestGE returns the index of the smallest catalog value ≥ x, with ok
+// false when every value is below x.
+func (c Catalog) SmallestGE(x float64) (int, bool) {
+	x -= catalogEps
+	for j, v := range c.values {
+		if v >= x {
+			return j, true
+		}
+	}
+	return -1, false
+}
+
+// Equal reports whether two catalogs hold identical values.
+func (c Catalog) Equal(other Catalog) bool {
+	if len(c.values) != len(other.values) {
+		return false
+	}
+	for i := range c.values {
+		if math.Abs(c.values[i]-other.values[i]) > catalogEps {
+			return false
+		}
+	}
+	return true
+}

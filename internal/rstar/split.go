@@ -1,0 +1,112 @@
+// Package rstar implements the R*-tree of Beckmann et al. (SIGMOD 1990),
+// the access method the U-tree paper builds on (Section 2.2): insertion
+// with ChooseSubtree, margin-driven split (axis selection + distribution
+// selection), forced reinsertion, and deletion with tree condensation.
+//
+// Beyond the standalone in-memory tree, the package exports the split and
+// reinsertion primitives (SplitGroups, ReinsertOrder) that the paged U-tree
+// reuses with its summed penalty metrics (Section 5.3 of the U-tree paper).
+package rstar
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// SplitGroups partitions the given rectangles into two groups following the
+// R*-tree split algorithm: choose the axis minimizing the summed margins of
+// all candidate distributions, then the distribution minimizing overlap
+// (ties: minimum total area). minFill is the minimum number of entries per
+// group (R* uses 40% of capacity). It returns the index sets of the two
+// groups; every index appears in exactly one group.
+func SplitGroups(rects []geom.Rect, minFill int) (left, right []int) {
+	n := len(rects)
+	if minFill < 1 {
+		minFill = 1
+	}
+	if n < 2*minFill {
+		panic("rstar: too few entries to split at the requested fill")
+	}
+	d := rects[0].Dim()
+
+	bestAxis := -1
+	bestMargin := 0.0
+	type axisOrder struct{ byLo, byHi []int }
+	orders := make([]axisOrder, d)
+
+	for axis := 0; axis < d; axis++ {
+		byLo := sortedIdx(n, func(a, b int) bool {
+			if rects[a].Lo[axis] != rects[b].Lo[axis] {
+				return rects[a].Lo[axis] < rects[b].Lo[axis]
+			}
+			return rects[a].Hi[axis] < rects[b].Hi[axis]
+		})
+		byHi := sortedIdx(n, func(a, b int) bool {
+			if rects[a].Hi[axis] != rects[b].Hi[axis] {
+				return rects[a].Hi[axis] < rects[b].Hi[axis]
+			}
+			return rects[a].Lo[axis] < rects[b].Lo[axis]
+		})
+		orders[axis] = axisOrder{byLo, byHi}
+
+		margin := 0.0
+		for _, ord := range [][]int{byLo, byHi} {
+			for k := minFill; k <= n-minFill; k++ {
+				margin += mbrOf(rects, ord[:k]).Margin() + mbrOf(rects, ord[k:]).Margin()
+			}
+		}
+		if bestAxis < 0 || margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+
+	// Distribution selection on the chosen axis.
+	var bestL, bestR []int
+	bestOverlap, bestArea := 0.0, 0.0
+	first := true
+	for _, ord := range [][]int{orders[bestAxis].byLo, orders[bestAxis].byHi} {
+		for k := minFill; k <= n-minFill; k++ {
+			l, r := ord[:k], ord[k:]
+			bl, br := mbrOf(rects, l), mbrOf(rects, r)
+			ov := bl.Overlap(br)
+			ar := bl.Area() + br.Area()
+			if first || ov < bestOverlap || (ov == bestOverlap && ar < bestArea) {
+				first = false
+				bestOverlap, bestArea = ov, ar
+				bestL = append(bestL[:0], l...)
+				bestR = append(bestR[:0], r...)
+			}
+		}
+	}
+	return bestL, bestR
+}
+
+func sortedIdx(n int, less func(a, b int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	return idx
+}
+
+func mbrOf(rects []geom.Rect, idx []int) geom.Rect {
+	u := rects[idx[0]].Clone()
+	for _, i := range idx[1:] {
+		u.UnionInPlace(rects[i])
+	}
+	return u
+}
+
+// ReinsertOrder implements the forced-reinsertion selection: it returns all
+// indices sorted by decreasing distance between each rectangle's centroid
+// and the node MBR's centroid. The caller removes the first p entries and
+// reinserts them closest-first (R*'s "close reinsert").
+func ReinsertOrder(rects []geom.Rect, nodeMBR geom.Rect) []int {
+	center := nodeMBR.Center()
+	idx := sortedIdx(len(rects), func(a, b int) bool {
+		return rects[a].Center().Dist(center) > rects[b].Center().Dist(center)
+	})
+	return idx
+}

@@ -1,0 +1,433 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tree is an in-memory R*-tree over rectangles with opaque comparable
+// payloads. It is fully dynamic: inserts and deletes may interleave freely.
+type Tree struct {
+	dim      int
+	maxE     int // M: max entries per node
+	minE     int // m: min entries per node (40% of M)
+	root     *node
+	size     int
+	reinsert int // p: entries removed on forced reinsertion (30% of M)
+}
+
+type node struct {
+	level   int // 0 = leaf
+	entries []entry
+}
+
+type entry struct {
+	rect  geom.Rect
+	child *node // non-nil for internal entries
+	item  any   // payload for leaf entries
+}
+
+func (n *node) leaf() bool { return n.level == 0 }
+
+func (n *node) mbr() geom.Rect {
+	u := n.entries[0].rect.Clone()
+	for _, e := range n.entries[1:] {
+		u.UnionInPlace(e.rect)
+	}
+	return u
+}
+
+// NewTree creates an R*-tree for dim-dimensional rectangles with the given
+// node capacity (maximum entries per node, ≥ 4).
+func NewTree(dim, capacity int) *Tree {
+	if dim < 1 {
+		panic("rstar: dimensionality must be positive")
+	}
+	if capacity < 4 {
+		panic("rstar: capacity must be at least 4")
+	}
+	minE := capacity * 2 / 5 // 40%
+	if minE < 1 {
+		minE = 1
+	}
+	reins := capacity * 3 / 10 // 30%
+	if reins < 1 {
+		reins = 1
+	}
+	return &Tree{
+		dim:      dim,
+		maxE:     capacity,
+		minE:     minE,
+		reinsert: reins,
+		root:     &node{level: 0},
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a lone leaf root).
+func (t *Tree) Height() int { return t.root.level + 1 }
+
+// Insert adds an item with the given bounding rectangle.
+func (t *Tree) Insert(rect geom.Rect, item any) {
+	if rect.Dim() != t.dim {
+		panic(fmt.Sprintf("rstar: rect dim %d, tree dim %d", rect.Dim(), t.dim))
+	}
+	reinserted := make(map[int]bool)
+	t.insertAtLevel(entry{rect: rect.Clone(), item: item}, 0, reinserted)
+	t.size++
+}
+
+// insertAtLevel inserts e so that it lands on a node of the given level.
+// reinserted tracks which levels already used forced reinsertion during this
+// top-level operation (R* allows it once per level).
+func (t *Tree) insertAtLevel(e entry, level int, reinserted map[int]bool) {
+	n, path := t.chooseNode(e.rect, level)
+	n.entries = append(n.entries, e)
+	t.adjustPath(path, n, e.rect)
+	if len(n.entries) > t.maxE {
+		t.overflow(n, path, reinserted)
+	}
+}
+
+// chooseNode descends from the root to a node at the target level using the
+// R* ChooseSubtree criterion, returning the node and the root-to-parent
+// path.
+func (t *Tree) chooseNode(rect geom.Rect, level int) (*node, []*node) {
+	n := t.root
+	var path []*node
+	for n.level > level {
+		path = append(path, n)
+		best := t.chooseSubtreeIndex(n, rect)
+		n = n.entries[best].child
+	}
+	return n, path
+}
+
+// chooseSubtreeIndex applies R* ChooseSubtree: minimal overlap enlargement
+// when children are leaves, else minimal area enlargement; ties by area.
+func (t *Tree) chooseSubtreeIndex(n *node, rect geom.Rect) int {
+	best := 0
+	if n.level == 1 {
+		// Children are leaves: minimize overlap enlargement.
+		bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+		for i, e := range n.entries {
+			grown := e.rect.Union(rect)
+			var before, after float64
+			for j, o := range n.entries {
+				if j == i {
+					continue
+				}
+				before += e.rect.Overlap(o.rect)
+				after += grown.Overlap(o.rect)
+			}
+			dOv := after - before
+			enl := e.rect.Enlargement(rect)
+			area := e.rect.Area()
+			if dOv < bestOverlap ||
+				(dOv == bestOverlap && enl < bestEnl) ||
+				(dOv == bestOverlap && enl == bestEnl && area < bestArea) {
+				bestOverlap, bestEnl, bestArea, best = dOv, enl, area, i
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, e := range n.entries {
+		enl := e.rect.Enlargement(rect)
+		area := e.rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			bestEnl, bestArea, best = enl, area, i
+		}
+	}
+	return best
+}
+
+// adjustPath grows the parent entries along the insertion path to cover
+// rect. Parent entry lookup is by child identity: the child of path[i] is
+// path[i+1], except for the last path element whose child is target.
+func (t *Tree) adjustPath(path []*node, target *node, rect geom.Rect) {
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		child := target
+		if i+1 < len(path) {
+			child = path[i+1]
+		}
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect.UnionInPlace(rect)
+				break
+			}
+		}
+	}
+}
+
+// refreshEntry recomputes the parent entry rectangle of child within parent.
+func refreshEntry(parent *node, child *node) {
+	for j := range parent.entries {
+		if parent.entries[j].child == child {
+			parent.entries[j].rect = child.mbr()
+			return
+		}
+	}
+}
+
+// overflow handles a node exceeding capacity: forced reinsertion on the
+// first overflow at a level (unless it is the root), split otherwise.
+func (t *Tree) overflow(n *node, path []*node, reinserted map[int]bool) {
+	if n != t.root && !reinserted[n.level] {
+		reinserted[n.level] = true
+		t.forceReinsert(n, path, reinserted)
+		return
+	}
+	t.split(n, path, reinserted)
+}
+
+// forceReinsert removes the p entries farthest from the node's centroid and
+// reinserts them (closest first).
+func (t *Tree) forceReinsert(n *node, path []*node, reinserted map[int]bool) {
+	rects := make([]geom.Rect, len(n.entries))
+	for i, e := range n.entries {
+		rects[i] = e.rect
+	}
+	order := ReinsertOrder(rects, n.mbr())
+	p := t.reinsert
+	removed := make([]entry, 0, p)
+	removeSet := make(map[int]bool, p)
+	for _, i := range order[:p] {
+		removeSet[i] = true
+	}
+	kept := n.entries[:0]
+	for i, e := range n.entries {
+		if removeSet[i] {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	n.entries = kept
+	// Tighten ancestors now that entries left.
+	t.tightenPath(path, n)
+	// Close reinsert: nearest to the centroid first (they were selected as
+	// the farthest; reinsert in reverse order of distance).
+	for i := len(removed) - 1; i >= 0; i-- {
+		t.insertAtLevel(removed[i], n.level, reinserted)
+	}
+}
+
+// tightenPath recomputes parent entry MBRs bottom-up after removals.
+func (t *Tree) tightenPath(path []*node, leafmost *node) {
+	child := leafmost
+	for i := len(path) - 1; i >= 0; i-- {
+		refreshEntry(path[i], child)
+		child = path[i]
+	}
+}
+
+// split divides an overflowing node with the R* split and pushes the new
+// sibling up, splitting ancestors as needed.
+func (t *Tree) split(n *node, path []*node, reinserted map[int]bool) {
+	rects := make([]geom.Rect, len(n.entries))
+	for i, e := range n.entries {
+		rects[i] = e.rect
+	}
+	li, ri := SplitGroups(rects, t.minE)
+	le := make([]entry, 0, len(li))
+	re := make([]entry, 0, len(ri))
+	for _, i := range li {
+		le = append(le, n.entries[i])
+	}
+	for _, i := range ri {
+		re = append(re, n.entries[i])
+	}
+	n.entries = le
+	sibling := &node{level: n.level, entries: re}
+
+	if n == t.root {
+		newRoot := &node{level: n.level + 1}
+		newRoot.entries = []entry{
+			{rect: n.mbr(), child: n},
+			{rect: sibling.mbr(), child: sibling},
+		}
+		t.root = newRoot
+		return
+	}
+	parent := path[len(path)-1]
+	refreshEntry(parent, n)
+	parent.entries = append(parent.entries, entry{rect: sibling.mbr(), child: sibling})
+	t.tightenPath(path[:len(path)-1], parent)
+	if len(parent.entries) > t.maxE {
+		t.overflow(parent, path[:len(path)-1], reinserted)
+	}
+}
+
+// Search returns the payloads of all items whose rectangles intersect rq.
+func (t *Tree) Search(rq geom.Rect) []any {
+	var out []any
+	var visit func(n *node)
+	visit = func(n *node) {
+		for _, e := range n.entries {
+			if !e.rect.Intersects(rq) {
+				continue
+			}
+			if n.leaf() {
+				out = append(out, e.item)
+			} else {
+				visit(e.child)
+			}
+		}
+	}
+	visit(t.root)
+	return out
+}
+
+// Delete removes the item with the given rectangle and payload (compared
+// with ==). It reports whether a matching entry was found.
+func (t *Tree) Delete(rect geom.Rect, item any) bool {
+	leaf, path, idx := t.findLeaf(t.root, nil, rect, item)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf, path)
+	return true
+}
+
+// findLeaf locates the leaf holding (rect, item) by exhaustive overlap
+// descent.
+func (t *Tree) findLeaf(n *node, path []*node, rect geom.Rect, item any) (*node, []*node, int) {
+	if n.leaf() {
+		for i, e := range n.entries {
+			if e.item == item && e.rect.Equal(rect) {
+				return n, path, i
+			}
+		}
+		return nil, nil, -1
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(rect) {
+			if leaf, p, i := t.findLeaf(e.child, append(path, n), rect, item); leaf != nil {
+				return leaf, p, i
+			}
+		}
+	}
+	return nil, nil, -1
+}
+
+// condense implements CondenseTree: underfull nodes along the path are
+// removed and their entries reinserted at their original level; the root is
+// collapsed when it has a single child.
+func (t *Tree) condense(n *node, path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		if len(n.entries) < t.minE {
+			// Remove n from its parent, orphan its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e, n.level})
+			}
+		} else {
+			refreshEntry(parent, n)
+		}
+		n = parent
+	}
+
+	// Root adjustments.
+	if !t.root.leaf() && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf() && len(t.root.entries) == 0 {
+		t.root = &node{level: 0}
+	}
+
+	// Reinsert orphans at their levels (deepest payload entries are level-0)
+	// so leaf depth stays uniform. If the tree shrank below an orphan
+	// subtree's level, fall back to reinserting its leaf items one by one.
+	for _, o := range orphans {
+		reinserted := make(map[int]bool)
+		switch {
+		case o.level == 0:
+			t.insertAtLevel(o.e, 0, reinserted)
+		case o.level <= t.root.level:
+			t.insertAtLevel(o.e, o.level, reinserted)
+		default:
+			for _, le := range collectLeafEntries(o.e.child) {
+				t.insertAtLevel(le, 0, make(map[int]bool))
+			}
+		}
+	}
+}
+
+// collectLeafEntries gathers every leaf entry in the subtree rooted at n.
+func collectLeafEntries(n *node) []entry {
+	if n.leaf() {
+		return append([]entry(nil), n.entries...)
+	}
+	var out []entry
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.child)...)
+	}
+	return out
+}
+
+// CheckInvariants validates structural invariants; tests call it after
+// random workloads. It returns an error describing the first violation.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var walk func(n *node, isRoot bool) (geom.Rect, error)
+	walk = func(n *node, isRoot bool) (geom.Rect, error) {
+		if len(n.entries) == 0 {
+			if isRoot {
+				return geom.Rect{}, nil
+			}
+			return geom.Rect{}, fmt.Errorf("rstar: empty non-root node at level %d", n.level)
+		}
+		if !isRoot && len(n.entries) < t.minE {
+			return geom.Rect{}, fmt.Errorf("rstar: underfull node: %d < %d", len(n.entries), t.minE)
+		}
+		if len(n.entries) > t.maxE {
+			return geom.Rect{}, fmt.Errorf("rstar: overfull node: %d > %d", len(n.entries), t.maxE)
+		}
+		if n.leaf() {
+			count += len(n.entries)
+			return n.mbr(), nil
+		}
+		for _, e := range n.entries {
+			if e.child.level != n.level-1 {
+				return geom.Rect{}, fmt.Errorf("rstar: level mismatch: child %d under %d", e.child.level, n.level)
+			}
+			childMBR, err := walk(e.child, false)
+			if err != nil {
+				return geom.Rect{}, err
+			}
+			if !e.rect.Equal(childMBR) {
+				if !e.rect.Contains(childMBR) {
+					return geom.Rect{}, fmt.Errorf("rstar: parent entry %v does not cover child MBR %v", e.rect, childMBR)
+				}
+			}
+		}
+		return n.mbr(), nil
+	}
+	if _, err := walk(t.root, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rstar: size %d but %d leaf entries", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randRect(rng *rand.Rand, dim int, span, maxSide float64) geom.Rect {
+	lo := make(geom.Point, dim)
+	hi := make(geom.Point, dim)
+	for i := 0; i < dim; i++ {
+		a := rng.Float64() * span
+		lo[i] = a
+		hi[i] = a + rng.Float64()*maxSide
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// bruteSearch is the correctness oracle.
+type bruteItem struct {
+	rect geom.Rect
+	id   int
+}
+
+func bruteSearch(items []bruteItem, rq geom.Rect) []int {
+	var out []int
+	for _, it := range items {
+		if it.rect.Intersects(rq) {
+			out = append(out, it.id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedIDs(raw []any) []int {
+	out := make([]int, len(raw))
+	for i, v := range raw {
+		out[i] = v.(int)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertSearchAgainstBruteForce(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		tree := NewTree(dim, 16)
+		var items []bruteItem
+		for i := 0; i < 3000; i++ {
+			r := randRect(rng, dim, 1000, 30)
+			tree.Insert(r, i)
+			items = append(items, bruteItem{r, i})
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if tree.Len() != 3000 {
+			t.Fatalf("dim %d: Len = %d", dim, tree.Len())
+		}
+		for q := 0; q < 100; q++ {
+			rq := randRect(rng, dim, 1000, 120)
+			got := sortedIDs(tree.Search(rq))
+			want := bruteSearch(items, rq)
+			if !equalIDs(got, want) {
+				t.Fatalf("dim %d query %d: got %d results, want %d", dim, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDeleteAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tree := NewTree(2, 12)
+	var items []bruteItem
+	for i := 0; i < 1500; i++ {
+		r := randRect(rng, 2, 500, 20)
+		tree.Insert(r, i)
+		items = append(items, bruteItem{r, i})
+	}
+	// Delete a random half.
+	perm := rng.Perm(len(items))
+	var remaining []bruteItem
+	deleted := make(map[int]bool)
+	for _, idx := range perm[:750] {
+		if !tree.Delete(items[idx].rect, items[idx].id) {
+			t.Fatalf("delete of existing item %d failed", items[idx].id)
+		}
+		deleted[items[idx].id] = true
+	}
+	for _, it := range items {
+		if !deleted[it.id] {
+			remaining = append(remaining, it)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 750 {
+		t.Fatalf("Len = %d, want 750", tree.Len())
+	}
+	for q := 0; q < 60; q++ {
+		rq := randRect(rng, 2, 500, 80)
+		got := sortedIDs(tree.Search(rq))
+		want := bruteSearch(remaining, rq)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d after deletes: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestDeleteNonexistent(t *testing.T) {
+	tree := NewTree(2, 8)
+	r := randRect(rand.New(rand.NewSource(1)), 2, 10, 2)
+	tree.Insert(r, 1)
+	if tree.Delete(r, 2) {
+		t.Fatal("deleted item with wrong payload")
+	}
+	other := geom.NewRect(geom.Point{900, 900}, geom.Point{901, 901})
+	if tree.Delete(other, 1) {
+		t.Fatal("deleted item with wrong rect")
+	}
+	if !tree.Delete(r, 1) {
+		t.Fatal("failed to delete existing item")
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree := NewTree(2, 8)
+	type rec struct {
+		r  geom.Rect
+		id int
+	}
+	var recs []rec
+	for i := 0; i < 400; i++ {
+		r := randRect(rng, 2, 100, 5)
+		tree.Insert(r, i)
+		recs = append(recs, rec{r, i})
+	}
+	for _, rc := range recs {
+		if !tree.Delete(rc.r, rc.id) {
+			t.Fatalf("failed to delete %d", rc.id)
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting %d: %v", rc.id, err)
+		}
+	}
+	if tree.Len() != 0 || tree.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d after delete-all", tree.Len(), tree.Height())
+	}
+	// Tree remains usable.
+	tree.Insert(recs[0].r, 99)
+	if got := tree.Search(recs[0].r); len(got) != 1 || got[0].(int) != 99 {
+		t.Fatalf("search after delete-all: %v", got)
+	}
+}
+
+func TestRandomInterleavedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree := NewTree(2, 10)
+	live := map[int]geom.Rect{}
+	nextID := 0
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			r := randRect(rng, 2, 300, 15)
+			tree.Insert(r, nextID)
+			live[nextID] = r
+			nextID++
+		} else {
+			// Delete a random live item.
+			var pick int
+			k := rng.Intn(len(live))
+			for id := range live {
+				if k == 0 {
+					pick = id
+					break
+				}
+				k--
+			}
+			if !tree.Delete(live[pick], pick) {
+				t.Fatalf("step %d: delete %d failed", step, pick)
+			}
+			delete(live, pick)
+		}
+		if step%500 == 0 {
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != len(live) {
+		t.Fatalf("Len=%d, want %d", tree.Len(), len(live))
+	}
+	// Final search correctness.
+	var items []bruteItem
+	for id, r := range live {
+		items = append(items, bruteItem{r, id})
+	}
+	for q := 0; q < 40; q++ {
+		rq := randRect(rng, 2, 300, 60)
+		got := sortedIDs(tree.Search(rq))
+		want := bruteSearch(items, rq)
+		if !equalIDs(got, want) {
+			t.Fatalf("final query %d mismatch", q)
+		}
+	}
+}
+
+func TestDuplicateRectsAndPoints(t *testing.T) {
+	tree := NewTree(2, 6)
+	pt := geom.RectFromPoint(geom.Point{5, 5})
+	for i := 0; i < 100; i++ {
+		tree.Insert(pt, i)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tree.Search(pt)
+	if len(got) != 100 {
+		t.Fatalf("found %d of 100 identical points", len(got))
+	}
+	for i := 0; i < 100; i++ {
+		if !tree.Delete(pt, i) {
+			t.Fatalf("delete duplicate %d failed", i)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Fatal("leftovers after deleting duplicates")
+	}
+}
+
+func TestSplitGroupsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(20)
+		minFill := 2 + rng.Intn(n/4)
+		rects := make([]geom.Rect, n)
+		for i := range rects {
+			rects[i] = randRect(rng, 2, 100, 20)
+		}
+		l, r := SplitGroups(rects, minFill)
+		if len(l) < minFill || len(r) < minFill {
+			t.Fatalf("fill violated: %d/%d with minFill %d", len(l), len(r), minFill)
+		}
+		seen := make([]bool, n)
+		for _, i := range append(append([]int{}, l...), r...) {
+			if seen[i] {
+				t.Fatalf("index %d in both groups", i)
+			}
+			seen[i] = true
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("index %d lost by split", i)
+			}
+		}
+	}
+}
+
+func TestSplitGroupsSeparatesClusters(t *testing.T) {
+	// Two well-separated clusters must be split apart.
+	var rects []geom.Rect
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		rects = append(rects, randRect(rng, 2, 10, 2))
+	}
+	for i := 0; i < 10; i++ {
+		r := randRect(rng, 2, 10, 2)
+		for j := range r.Lo {
+			r.Lo[j] += 1000
+			r.Hi[j] += 1000
+		}
+		rects = append(rects, r)
+	}
+	l, r := SplitGroups(rects, 4)
+	check := func(group []int) bool {
+		low := 0
+		for _, i := range group {
+			if i < 10 {
+				low++
+			}
+		}
+		return low == 0 || low == len(group)
+	}
+	if !check(l) || !check(r) {
+		t.Fatalf("clusters mixed: %v | %v", l, r)
+	}
+}
+
+func TestReinsertOrder(t *testing.T) {
+	rects := []geom.Rect{
+		geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}),     // near origin
+		geom.NewRect(geom.Point{50, 50}, geom.Point{51, 51}), // center-ish
+		geom.NewRect(geom.Point{99, 99}, geom.Point{100, 100}),
+	}
+	mbr := geom.MBR(rects...)
+	order := ReinsertOrder(rects, mbr)
+	// Farthest first: corners before the center element.
+	if order[len(order)-1] != 1 {
+		t.Fatalf("center rect should be last (closest), got order %v", order)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewTree(0, 8) },
+		func() { NewTree(2, 3) },
+		func() { NewTree(2, 8).Insert(geom.NewRect(geom.Point{0}, geom.Point{1}), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree := NewTree(2, 8)
+	if tree.Height() != 1 {
+		t.Fatalf("empty tree height = %d", tree.Height())
+	}
+	for i := 0; i < 1000; i++ {
+		tree.Insert(randRect(rng, 2, 100, 3), i)
+	}
+	if tree.Height() < 3 {
+		t.Fatalf("height = %d after 1000 inserts with cap 8", tree.Height())
+	}
+}

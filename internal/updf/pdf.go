@@ -1,0 +1,158 @@
+// Package updf models uncertain objects' probability distributions: an
+// uncertainty region plus a probability density function over it (Section 3
+// of the U-tree paper). The package provides
+//
+//   - concrete pdfs: Uniform over balls and rectangles, the paper's
+//     Constrained Gaussian (Con-Gau, Equation 16), truncated Gaussian and
+//     exponential products on rectangles, and piecewise-constant histogram
+//     pdfs standing in for fully arbitrary densities;
+//   - per-dimension marginal CDFs and quantiles (closed-form where the
+//     math allows, adaptive quadrature otherwise) — the primitive from
+//     which PCRs are computed (Section 4.1);
+//   - uniform region sampling for the Monte-Carlo estimator (Equation 3);
+//   - exact appearance-probability oracles used as ground truth in tests
+//     and in the Fig. 7 error study;
+//   - compact binary serialization for the data file leaf entries point at.
+package updf
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/numeric"
+)
+
+// PDF describes an uncertain object's distribution. Implementations must be
+// immutable after construction: they are shared across index entries and
+// cached quantile tables.
+type PDF interface {
+	// Dim returns the dimensionality d.
+	Dim() int
+	// MBR returns the minimum bounding rectangle of the uncertainty region.
+	MBR() geom.Rect
+	// Density returns the normalized density at x (0 outside the region).
+	Density(x geom.Point) float64
+	// SampleUniform draws a point uniformly from the uncertainty region
+	// (not from the pdf); this is the sampling scheme of Equation 3.
+	SampleUniform(rng *rand.Rand, dst geom.Point)
+	// MarginalCDF returns P(X_dim ≤ x).
+	MarginalCDF(dim int, x float64) float64
+	// ShapeKey identifies the pdf's shape up to translation by Center();
+	// two pdfs with equal non-empty ShapeKeys have identical marginal
+	// quantile offsets from their centers, enabling the paper's "compute λ
+	// once for all of CA" style of caching. An empty key disables caching.
+	ShapeKey() string
+	// Center returns the translation anchor used with ShapeKey.
+	Center() geom.Point
+}
+
+// ExactProber is implemented by pdfs that can compute the appearance
+// probability in a rectangle exactly (up to quadrature tolerance); used as
+// the ground-truth oracle in tests and the Fig. 7 experiment.
+type ExactProber interface {
+	ExactProb(rq geom.Rect) float64
+}
+
+// MarginalQuantile inverts p.MarginalCDF on dimension dim by bisection over
+// the MBR extent. prob must be in [0, 1]; values at the boundaries return
+// the region's extremes.
+func MarginalQuantile(p PDF, dim int, prob float64) float64 {
+	mbr := p.MBR()
+	lo, hi := mbr.Lo[dim], mbr.Hi[dim]
+	if prob <= 0 {
+		return lo
+	}
+	if prob >= 1 {
+		return hi
+	}
+	x, err := numeric.Bisect(func(x float64) float64 {
+		return p.MarginalCDF(dim, x) - prob
+	}, lo, hi, quantileTol(hi-lo))
+	if err != nil {
+		// CDF numerically flat at an endpoint; clamp to the nearer side.
+		if p.MarginalCDF(dim, lo) >= prob {
+			return lo
+		}
+		return hi
+	}
+	return x
+}
+
+func quantileTol(extent float64) float64 {
+	t := extent * 1e-9
+	if t < 1e-12 {
+		t = 1e-12
+	}
+	return t
+}
+
+// MonteCarloProb estimates the appearance probability of p in rq with n1
+// uniform samples (Equation 3).
+func MonteCarloProb(p PDF, rq geom.Rect, n1 int, rng *rand.Rand) float64 {
+	res := numeric.MonteCarloAppearance(samplerAdapter{p}, p.Density, p.Dim(), rq, n1, rng)
+	return res.P
+}
+
+type samplerAdapter struct{ p PDF }
+
+func (s samplerAdapter) SampleUniform(rng *rand.Rand, dst geom.Point) {
+	s.p.SampleUniform(rng, dst)
+}
+
+// unitBallVolume returns the volume of the d-dimensional unit ball.
+func unitBallVolume(d int) float64 {
+	switch d {
+	case 1:
+		return 2
+	case 2:
+		return math.Pi
+	case 3:
+		return 4 * math.Pi / 3
+	}
+	// V_d = π^{d/2} / Γ(d/2 + 1)
+	return math.Pow(math.Pi, float64(d)/2) / math.Gamma(float64(d)/2+1)
+}
+
+// sampleBall fills dst with a point uniform in the ball of radius r at ctr.
+// Direction via normalized Gaussians, radius via U^{1/d}: exact and free of
+// rejection loops in any dimension.
+func sampleBall(rng *rand.Rand, ctr geom.Point, r float64, dst geom.Point) {
+	d := len(ctr)
+	var norm float64
+	for i := 0; i < d; i++ {
+		g := rng.NormFloat64()
+		dst[i] = g
+		norm += g * g
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		copy(dst, ctr)
+		return
+	}
+	rad := r * math.Pow(rng.Float64(), 1/float64(d))
+	for i := 0; i < d; i++ {
+		dst[i] = ctr[i] + dst[i]/norm*rad
+	}
+}
+
+// ballMBR returns the bounding box of the ball at ctr with radius r.
+func ballMBR(ctr geom.Point, r float64) geom.Rect {
+	lo := make(geom.Point, len(ctr))
+	hi := make(geom.Point, len(ctr))
+	for i := range ctr {
+		lo[i] = ctr[i] - r
+		hi[i] = ctr[i] + r
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// inBall reports whether x is within distance r of ctr.
+func inBall(ctr geom.Point, r float64, x geom.Point) bool {
+	var s float64
+	for i := range ctr {
+		d := x[i] - ctr[i]
+		s += d * d
+	}
+	return s <= r*r
+}

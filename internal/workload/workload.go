@@ -1,0 +1,72 @@
+// Package workload builds the query workloads of the paper's evaluation
+// (Section 6): each workload holds 100 prob-range queries sharing the same
+// parameters qs (side length of the square/cube search region) and pq
+// (probability threshold), with query locations following the distribution
+// of the underlying data (a query center is a sampled data point).
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DefaultQueries is the paper's workload size.
+const DefaultQueries = 100
+
+// Workload is a set of queries sharing parameters.
+type Workload struct {
+	QS      float64 // search-region side length
+	PQ      float64 // probability threshold
+	Queries []core.Query
+}
+
+// Config parameterizes workload generation.
+type Config struct {
+	QS      float64
+	PQ      float64
+	Count   int // 0 → DefaultQueries
+	Seed    int64
+	Domain  float64 // data-space extent per axis (for clamping); 0 → no clamp
+	Centers []geom.Point
+}
+
+// New builds a workload whose query centers are drawn from cfg.Centers (the
+// dataset's points), matching "the distribution of the region's location …
+// follows that of the underlying data".
+func New(cfg Config) Workload {
+	count := cfg.Count
+	if count == 0 {
+		count = DefaultQueries
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	w := Workload{QS: cfg.QS, PQ: cfg.PQ, Queries: make([]core.Query, 0, count)}
+	if len(cfg.Centers) == 0 {
+		panic("workload: no centers supplied")
+	}
+	dim := len(cfg.Centers[0])
+	half := cfg.QS / 2
+	for i := 0; i < count; i++ {
+		c := cfg.Centers[rng.Intn(len(cfg.Centers))]
+		lo := make(geom.Point, dim)
+		hi := make(geom.Point, dim)
+		for k := 0; k < dim; k++ {
+			lo[k] = c[k] - half
+			hi[k] = c[k] + half
+			if cfg.Domain > 0 {
+				if lo[k] < 0 {
+					lo[k], hi[k] = 0, cfg.QS
+				}
+				if hi[k] > cfg.Domain {
+					lo[k], hi[k] = cfg.Domain-cfg.QS, cfg.Domain
+				}
+			}
+		}
+		w.Queries = append(w.Queries, core.Query{
+			Rect: geom.Rect{Lo: lo, Hi: hi},
+			Prob: cfg.PQ,
+		})
+	}
+	return w
+}

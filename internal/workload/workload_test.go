@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func centers() []geom.Point {
+	return []geom.Point{{1000, 2000}, {5000, 5000}, {9000, 8000}}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w := New(Config{QS: 500, PQ: 0.6, Centers: centers(), Domain: 10000})
+	if len(w.Queries) != DefaultQueries {
+		t.Fatalf("%d queries, want %d", len(w.Queries), DefaultQueries)
+	}
+	for i, q := range w.Queries {
+		if q.Prob != 0.6 {
+			t.Fatalf("query %d prob %g", i, q.Prob)
+		}
+		for k := 0; k < 2; k++ {
+			side := q.Rect.Side(k)
+			if side < 499.999 || side > 500.001 {
+				t.Fatalf("query %d side %g, want 500", i, side)
+			}
+			if q.Rect.Lo[k] < 0 || q.Rect.Hi[k] > 10000 {
+				t.Fatalf("query %d outside domain: %v", i, q.Rect)
+			}
+		}
+	}
+}
+
+func TestWorkloadCount(t *testing.T) {
+	w := New(Config{QS: 100, PQ: 0.3, Count: 17, Centers: centers()})
+	if len(w.Queries) != 17 {
+		t.Fatalf("%d queries, want 17", len(w.Queries))
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := New(Config{QS: 100, PQ: 0.3, Seed: 5, Centers: centers()})
+	b := New(Config{QS: 100, PQ: 0.3, Seed: 5, Centers: centers()})
+	for i := range a.Queries {
+		if !a.Queries[i].Rect.Equal(b.Queries[i].Rect) {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestWorkloadFollowsCenters(t *testing.T) {
+	// Every query center must coincide with a data point (that's the
+	// paper's location distribution).
+	cs := centers()
+	w := New(Config{QS: 10, PQ: 0.5, Centers: cs})
+	for i, q := range w.Queries {
+		c := q.Rect.Center()
+		found := false
+		for _, p := range cs {
+			if c.Equal(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %d center %v not a data point", i, c)
+		}
+	}
+}
+
+func TestWorkloadPanicsWithoutCenters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no centers should panic")
+		}
+	}()
+	New(Config{QS: 10, PQ: 0.5})
+}
+
+func TestWorkload3D(t *testing.T) {
+	cs := []geom.Point{{100, 200, 300}}
+	w := New(Config{QS: 50, PQ: 0.7, Centers: cs, Domain: 10000, Count: 5})
+	for _, q := range w.Queries {
+		if q.Rect.Dim() != 3 {
+			t.Fatalf("3D workload produced %dD query", q.Rect.Dim())
+		}
+	}
+}

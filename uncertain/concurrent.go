@@ -1,0 +1,77 @@
+package uncertain
+
+import "sync"
+
+// ConcurrentTree wraps a Tree with a readers-writer lock so searches run in
+// parallel while updates serialize. The underlying U-tree is single-writer
+// by design (like most paged trees); this wrapper is the supported way to
+// share one index across goroutines.
+type ConcurrentTree struct {
+	mu   sync.RWMutex
+	tree *Tree
+}
+
+// NewConcurrentTree creates a lock-protected index.
+func NewConcurrentTree(cfg Config) (*ConcurrentTree, error) {
+	t, err := NewTree(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentTree{tree: t}, nil
+}
+
+// Insert adds an object (exclusive lock).
+func (c *ConcurrentTree) Insert(id int64, pdf PDF) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Insert(id, pdf)
+}
+
+// Delete removes an object by ID (exclusive lock).
+func (c *ConcurrentTree) Delete(id int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Delete(id)
+}
+
+// BulkLoad batch-builds an empty index (exclusive lock).
+func (c *ConcurrentTree) BulkLoad(objects map[int64]PDF) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.BulkLoad(objects)
+}
+
+// Search answers a probabilistic range query.
+//
+// Note: this still takes the exclusive lock, not the read lock — a query
+// mutates shared state (the buffer pool's LRU list and the refinement
+// sampler), so concurrent queries on one tree are serialized. The win over
+// bare Tree is safety, not parallel reads; use one ConcurrentTree per
+// goroutine-pool shard for read scaling.
+func (c *ConcurrentTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Search(rect, prob)
+}
+
+// NearestNeighbors answers an expected-distance k-NN query (see Search for
+// locking semantics).
+func (c *ConcurrentTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.NearestNeighbors(q, k)
+}
+
+// Len returns the object count.
+func (c *ConcurrentTree) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Len()
+}
+
+// Close flushes and closes the underlying tree.
+func (c *ConcurrentTree) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Close()
+}

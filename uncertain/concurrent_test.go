@@ -1,0 +1,75 @@
+package uncertain
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentTreeParallelMixedOps(t *testing.T) {
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	// Seed with a base population.
+	for i := int64(0); i < 200; i++ {
+		if err := ct.Insert(i, UniformCircle(Pt(float64(i%20)*50, float64(i/20)*50), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int64(1000 + w*1000)
+			for i := 0; i < 60; i++ {
+				id := base + int64(i)
+				if err := ct.Insert(id, UniformCircle(
+					Pt(rng.Float64()*1000, rng.Float64()*1000), 8)); err != nil {
+					errs <- fmt.Errorf("worker %d insert: %w", w, err)
+					return
+				}
+				if _, _, err := ct.Search(Box(Pt(0, 0), Pt(500, 500)), 0.5); err != nil {
+					errs <- fmt.Errorf("worker %d search: %w", w, err)
+					return
+				}
+				if i%3 == 0 {
+					if err := ct.Delete(id); err != nil {
+						errs <- fmt.Errorf("worker %d delete: %w", w, err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, _, err := ct.NearestNeighbors(Pt(rng.Float64()*1000, rng.Float64()*1000), 3); err != nil {
+						errs <- fmt.Errorf("worker %d nn: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// 200 base + 8 workers × 60 inserts − 8 × 20 deletes.
+	want := 200 + workers*60 - workers*20
+	if got := ct.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestConcurrentTreeConfigError(t *testing.T) {
+	if _, err := NewConcurrentTree(Config{}); err == nil {
+		t.Fatal("zero dimensions accepted")
+	}
+}

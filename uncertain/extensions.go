@@ -1,0 +1,70 @@
+package uncertain
+
+import (
+	"repro/internal/core"
+	"repro/internal/updf"
+)
+
+// This file exposes the library's extensions beyond the paper's prob-range
+// query: polygon and mixture pdfs ("uncertainty regions of any shapes"),
+// expected-distance nearest neighbors, STR bulk loading and the analytical
+// cost model (the paper's stated future work, Section 7).
+
+// UniformPolygon is a uniform pdf over a 2D convex polygon (the convex hull
+// of the given points is used).
+func UniformPolygon(vertices []Point) PDF {
+	vs := make([]Point, len(vertices))
+	copy(vs, vertices)
+	return updf.NewUniformPolygon(vs)
+}
+
+// MixturePDF is a weighted mixture of pdfs — multi-modal uncertainty.
+// Weights are normalized internally.
+func MixturePDF(components []PDF, weights []float64) PDF {
+	return updf.NewMixture(components, weights)
+}
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor = core.NNResult
+
+// NNStats reports nearest-neighbor traversal cost.
+type NNStats = core.NNStats
+
+// NearestNeighbors returns the k objects with the smallest expected
+// distance E[dist(o, q)] to the query point, ascending.
+func (t *Tree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
+	return t.inner.NearestNeighbors(q, k)
+}
+
+// BulkLoad builds the index bottom-up (STR packing) from a batch of
+// objects; the tree must be empty. Far faster than repeated Insert and
+// produces a tighter tree; the index stays fully dynamic afterwards.
+func (t *Tree) BulkLoad(objects map[int64]PDF) error {
+	objs := make([]core.Object, 0, len(objects))
+	for id, p := range objects {
+		objs = append(objs, core.Object{ID: id, PDF: p})
+	}
+	if err := t.inner.BulkLoad(objs); err != nil {
+		return err
+	}
+	for id, p := range objects {
+		t.pdfs[id] = p.MBR()
+	}
+	return nil
+}
+
+// CostModel predicts query node accesses without executing queries; see
+// Tree.BuildCostModel.
+type CostModel = core.CostModel
+
+// BuildCostModel summarizes the tree for analytical cost prediction over
+// the given data domain.
+func (t *Tree) BuildCostModel(domain Rect) (*CostModel, error) {
+	return t.inner.BuildCostModel(domain)
+}
+
+// CatalogIndexFor maps a probability threshold to the catalog index used by
+// the query descent (input to CostModel.EstimateNodeAccesses).
+func (t *Tree) CatalogIndexFor(pq float64) int {
+	return t.inner.CatalogIndexFor(pq)
+}

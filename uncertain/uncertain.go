@@ -1,0 +1,242 @@
+// Package uncertain is the public API of the U-tree library: indexing
+// multi-dimensional uncertain data with arbitrary probability density
+// functions, after Tao, Cheng, Xiao, Ngai, Kao and Prabhakar (VLDB 2005).
+//
+// An uncertain object is a point whose position is described by a pdf over
+// an uncertainty region. The U-tree answers probabilistic range queries —
+// "find the objects inside rectangle r with probability at least p" —
+// while avoiding expensive appearance-probability integration for almost
+// all objects, using pre-computed probabilistically constrained regions
+// compressed into linear conservative functional boxes.
+//
+// Quick start:
+//
+//	tree, _ := uncertain.NewTree(uncertain.Config{Dimensions: 2})
+//	tree.Insert(1, uncertain.UniformCircle(uncertain.Pt(300, 400), 25))
+//	results, _, _ := tree.Search(uncertain.Box(uncertain.Pt(250, 350), uncertain.Pt(350, 450)), 0.8)
+//
+// See examples/ for complete programs.
+package uncertain
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/updf"
+)
+
+// Point is a position in d-dimensional space.
+type Point = geom.Point
+
+// Rect is an axis-aligned hyper-rectangle.
+type Rect = geom.Rect
+
+// PDF is a probability density function over an uncertainty region. Build
+// one with the constructors below, or implement updf.PDF directly for fully
+// custom distributions.
+type PDF = updf.PDF
+
+// Result is one object qualifying a probabilistic range query.
+type Result = core.Result
+
+// Stats reports the cost of one query in the paper's metrics: node
+// accesses, appearance-probability computations, directly-validated counts
+// and refinement I/Os.
+type Stats = core.QueryStats
+
+// Pt builds a Point.
+func Pt(coords ...float64) Point { return Point(coords) }
+
+// Box builds a rectangle from its corners; it panics on malformed corners.
+func Box(lo, hi Point) Rect { return geom.NewRect(lo, hi) }
+
+// UniformCircle is a uniform pdf over a d-dimensional ball (circle, sphere)
+// — the paper's location-uncertainty model.
+func UniformCircle(center Point, radius float64) PDF {
+	return updf.NewUniformBall(center, radius)
+}
+
+// UniformBox is a uniform pdf over a rectangle.
+func UniformBox(region Rect) PDF { return updf.NewUniformRect(region) }
+
+// ConstrainedGaussian is the paper's Con-Gau (Equation 16): an isotropic
+// Gaussian centered on the ball, renormalized over it.
+func ConstrainedGaussian(center Point, radius, sigma float64) PDF {
+	return updf.NewConGauBall(center, radius, sigma)
+}
+
+// TruncatedGaussianBox is an independent-Gaussian product truncated to a
+// rectangle (closed-form marginals and probabilities).
+func TruncatedGaussianBox(region Rect, mean Point, sigma []float64) PDF {
+	return updf.NewGaussRect(region, mean, sigma)
+}
+
+// ExponentialBox is a truncated exponential product on a rectangle — a
+// heavily skewed (Zipf-like) model.
+func ExponentialBox(region Rect, rates []float64) PDF {
+	return updf.NewExpoRect(region, rates)
+}
+
+// Histogram is a piecewise-constant pdf on a grid over a rectangle: the
+// "arbitrary pdf" workhorse — any density can be approximated this way.
+// weights are row-major cell masses (normalized internally).
+func Histogram(region Rect, bins []int, weights []float64) PDF {
+	return updf.NewHistogramRect(region, bins, weights)
+}
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Dimensions of the data space (required).
+	Dimensions int
+	// UPCR selects the paper's comparison structure instead of the U-tree
+	// (bigger entries storing all catalog PCRs). Mostly for experiments.
+	UPCR bool
+	// CatalogSize m (0 → paper defaults: 15 for U-tree, 9 for U-PCR).
+	CatalogSize int
+	// MonteCarloSamples is n1 of the refinement estimator (0 → 10000; the
+	// paper uses 10^6 for <1% error).
+	MonteCarloSamples int
+	// ExactRefinement uses closed-form/quadrature probabilities instead of
+	// Monte Carlo when the pdf supports it.
+	ExactRefinement bool
+	// Path makes the index file-backed (empty → in-memory).
+	Path string
+	// Seed for the refinement sampler (0 → 1).
+	Seed int64
+}
+
+// Tree is a dynamic index over uncertain objects supporting probabilistic
+// range search. Not safe for concurrent use.
+type Tree struct {
+	inner *core.Tree
+	file  *pagefile.FileStore
+	meta  pagefile.PageID
+	pdfs  map[int64]Rect // id → region MBR, to make Delete(id) ergonomic
+}
+
+// NewTree creates an empty index.
+func NewTree(cfg Config) (*Tree, error) {
+	opt := core.Options{
+		Dim:             cfg.Dimensions,
+		CatalogSize:     cfg.CatalogSize,
+		MCSamples:       cfg.MonteCarloSamples,
+		ExactRefinement: cfg.ExactRefinement,
+		Seed:            cfg.Seed,
+	}
+	if cfg.UPCR {
+		opt.Kind = core.UPCR
+	}
+	t := &Tree{pdfs: make(map[int64]Rect)}
+	if cfg.Path != "" {
+		fs, err := pagefile.CreateFileStore(cfg.Path)
+		if err != nil {
+			return nil, err
+		}
+		t.file = fs
+		opt.Store = fs
+		// Reserve the metadata page before the tree allocates its root so
+		// OpenTree can always find it at page 1.
+		meta, err := fs.Alloc()
+		if err != nil {
+			fs.Close()
+			return nil, err
+		}
+		t.meta = meta
+	}
+	inner, err := core.New(opt)
+	if err != nil {
+		if t.file != nil {
+			t.file.Close()
+		}
+		return nil, err
+	}
+	t.inner = inner
+	return t, nil
+}
+
+// Insert adds an object. IDs must be unique; inserting a duplicate ID is
+// not detected (two entries will coexist).
+func (t *Tree) Insert(id int64, pdf PDF) error {
+	if err := t.inner.Insert(core.Object{ID: id, PDF: pdf}); err != nil {
+		return err
+	}
+	t.pdfs[id] = pdf.MBR()
+	return nil
+}
+
+// Delete removes an object by ID. Objects inserted in a previous process
+// lifetime (reopened file-backed trees) need DeleteWithRegion instead.
+func (t *Tree) Delete(id int64) error {
+	mbr, ok := t.pdfs[id]
+	if !ok {
+		return fmt.Errorf("uncertain: id %d not tracked in this session; use DeleteWithRegion", id)
+	}
+	if err := t.inner.Delete(id, mbr); err != nil {
+		return err
+	}
+	delete(t.pdfs, id)
+	return nil
+}
+
+// DeleteWithRegion removes an object by ID and its region MBR (the pdf's
+// MBR at insertion time).
+func (t *Tree) DeleteWithRegion(id int64, regionMBR Rect) error {
+	if err := t.inner.Delete(id, regionMBR); err != nil {
+		return err
+	}
+	delete(t.pdfs, id)
+	return nil
+}
+
+// Search answers a probabilistic range query: the objects appearing in
+// rect with probability ≥ prob (prob in (0, 1]).
+func (t *Tree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
+	return t.inner.RangeQuery(core.Query{Rect: rect, Prob: prob})
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.inner.Len() }
+
+// Height returns the tree height in levels.
+func (t *Tree) Height() int { return t.inner.Height() }
+
+// SizeBytes reports the total storage footprint (index + data pages).
+func (t *Tree) SizeBytes() int64 { return t.inner.SizeBytes() }
+
+// CheckInvariants validates the index structure (for tests and tooling).
+func (t *Tree) CheckInvariants() error { return t.inner.CheckInvariants() }
+
+// Close flushes and, for file-backed trees, persists metadata and closes
+// the file.
+func (t *Tree) Close() error {
+	if t.file == nil {
+		return t.inner.Flush()
+	}
+	if err := t.inner.SaveMeta(t.meta); err != nil {
+		t.file.Close()
+		return err
+	}
+	return t.file.Close()
+}
+
+// OpenTree reopens a file-backed index created with Config.Path. The
+// metadata page is the first page after the store header (as written by
+// NewTree).
+func OpenTree(path string, cfg Config) (*Tree, error) {
+	fs, err := pagefile.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Open(fs, 1, core.Options{
+		MCSamples:       cfg.MonteCarloSamples,
+		ExactRefinement: cfg.ExactRefinement,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	return &Tree{inner: inner, file: fs, meta: 1, pdfs: make(map[int64]Rect)}, nil
+}
