@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/workload"
+	"repro/uncertain"
 )
 
 // benchConfig keeps `go test -bench=.` tractable while preserving shapes.
@@ -224,6 +226,73 @@ func BenchmarkQuery(b *testing.B) {
 		if _, _, err := tree.RangeQuery(queries[i%len(queries)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Parallel-vs-serial benchmarks: the Fig. 9 workload (LB, qs=1500, pq=0.6)
+// over a 2 ms simulated page latency (see pagefile.LatencyStore — the era
+// cost model's disk), serial Search loop versus QueryEngine.SearchBatch.
+// The fixture is built once and shared; queries are read-only.
+var parallelFixture struct {
+	once    sync.Once
+	ct      *uncertain.ConcurrentTree
+	queries []uncertain.RangeQuery
+	err     error
+}
+
+func parallelBenchFixture(b *testing.B) (*uncertain.ConcurrentTree, []uncertain.RangeQuery) {
+	parallelFixture.once.Do(func() {
+		cfg := benchConfig()
+		cfg.Scale = 0.05
+		cfg.Queries = 100
+		parallelFixture.ct, parallelFixture.queries, parallelFixture.err =
+			experiments.BuildParallelFixture(cfg)
+		if parallelFixture.err == nil {
+			parallelFixture.ct.SetSimulatedPageLatency(2_000_000) // 2ms in ns
+			// One warm pass so every benchmark starts from the same cache.
+			for _, q := range parallelFixture.queries {
+				if _, _, err := parallelFixture.ct.Search(q.Rect, q.Prob); err != nil {
+					parallelFixture.err = err
+					return
+				}
+			}
+		}
+	})
+	if parallelFixture.err != nil {
+		b.Fatal(parallelFixture.err)
+	}
+	return parallelFixture.ct, parallelFixture.queries
+}
+
+// BenchmarkFig9SearchSerial is the baseline: one goroutine, one query at a
+// time through ConcurrentTree.Search.
+func BenchmarkFig9SearchSerial(b *testing.B) {
+	ct, queries := parallelBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, _, err := ct.Search(q.Rect, q.Prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkFig9SearchBatch sweeps the engine's worker fan-out on the same
+// workload; the acceptance bar is ≥ 2× serial queries/sec at 4 workers.
+func BenchmarkFig9SearchBatch(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			ct, queries := parallelBenchFixture(b)
+			eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.SearchBatch(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
 }
 

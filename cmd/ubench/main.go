@@ -8,8 +8,10 @@
 //	ubench -experiment fig9 -scale 0.1        # one figure, 10% data scale
 //	ubench -experiment table1 -scale 1        # paper-scale dataset sizes
 //	ubench -experiment ablations
+//	ubench -parallel -workers 8               # batch engine throughput sweep
 //
-// Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, all.
+// Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
+// all.
 // At -scale 1 the datasets match the paper (53k/62k/100k objects); smaller
 // scales preserve the qualitative shapes at a fraction of the runtime.
 package main
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,19 +28,40 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|all")
-		scale   = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
-		queries = flag.Int("queries", 0, "queries per workload (0 = default)")
-		samples = flag.Int("mc", 0, "monte-carlo samples per probability (0 = default)")
-		seed    = flag.Int64("seed", 42, "generator seed")
+		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|all")
+		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
+		queries  = flag.Int("queries", 0, "queries per workload (0 = default)")
+		samples  = flag.Int("mc", 0, "monte-carlo samples per probability (0 = default)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		parallel = flag.Bool("parallel", false, "run the batch query engine throughput sweep (alias for -experiment parallel)")
+		workers  = flag.Int("workers", 2*runtime.GOMAXPROCS(0), "max worker fan-out for -parallel (sweeps 1,2,4,... up to this)")
+		iolatMS  = flag.Float64("iolat", 2, "simulated per-page storage latency for -parallel, milliseconds (0 disables; paper era model: 10)")
 	)
 	flag.Parse()
+	if *parallel {
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "experiment" {
+				expSet = true
+			}
+		})
+		if expSet && *exp != "parallel" {
+			fmt.Fprintf(os.Stderr, "-parallel conflicts with -experiment %s; use one or the other\n", *exp)
+			os.Exit(2)
+		}
+		*exp = "parallel"
+	}
+	if (*parallel || *exp == "parallel" || *exp == "all") && *workers < 1 {
+		fmt.Fprintf(os.Stderr, "-workers must be ≥ 1, got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{
 		Scale:     *scale,
 		Queries:   *queries,
 		MCSamples: *samples,
 		Seed:      *seed,
+		IOLatency: time.Duration(*iolatMS * float64(time.Millisecond)),
 		Out:       os.Stdout,
 	}
 
@@ -75,6 +99,20 @@ func main() {
 	}
 	if all || *exp == "fig11" {
 		run("fig11", func() error { _, err := experiments.Fig11(cfg); return err })
+		ran = true
+	}
+	if all || *exp == "parallel" {
+		run("parallel", func() error {
+			var ws []int
+			for w := 1; w <= *workers; w *= 2 {
+				ws = append(ws, w)
+			}
+			if len(ws) > 0 && ws[len(ws)-1] != *workers {
+				ws = append(ws, *workers)
+			}
+			_, err := experiments.ParallelBatch(cfg, ws)
+			return err
+		})
 		ran = true
 	}
 	if all || *exp == "ablations" {

@@ -144,6 +144,9 @@ func TestValidatedResultsAreMarked(t *testing.T) {
 }
 
 func TestDisjointQueryTouchesFewNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(3))
 	objs := makeObjects(1000, 1000, rng)
 	tree := buildTree(t, UTree, objs, 0)
@@ -306,6 +309,9 @@ func TestInterleavedInsertDelete(t *testing.T) {
 }
 
 func TestUTreeSmallerThanUPCR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	// Table 1's headline: the U-tree is much smaller despite its larger
 	// catalog (15 vs 9), because entries store 8d CFB values instead of
 	// 2dm PCR values.
@@ -337,6 +343,9 @@ func TestUTreeSmallerThanUPCR(t *testing.T) {
 }
 
 func TestUTreeFewerNodeAccesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(9))
 	objs := makeObjects(3000, 3000, rng)
 	ut := buildTree(t, UTree, objs, 15)

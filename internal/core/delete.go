@@ -17,7 +17,7 @@ var ErrNotFound = fmt.Errorf("core: object not found")
 // mirroring R-tree deletion.
 func (t *Tree) Delete(id int64, mbr geom.Rect) error {
 	start := time.Now()
-	r0, w0 := t.nodeReads, t.nodeWrites
+	r0, w0 := t.nodeReads.Load(), t.nodeWrites.Load()
 
 	leaf, path, idx, err := t.findLeaf(t.rootPage, nil, id, mbr)
 	if err != nil {
@@ -40,8 +40,8 @@ func (t *Tree) Delete(id int64, mbr geom.Rect) error {
 	t.size--
 
 	t.deleteStats.Ops++
-	t.deleteStats.PageReads += t.nodeReads - r0
-	t.deleteStats.PageWrites += t.nodeWrites - w0
+	t.deleteStats.PageReads += t.nodeReads.Load() - r0
+	t.deleteStats.PageWrites += t.nodeWrites.Load() - w0
 	t.deleteStats.CPUTime += time.Since(start)
 	return nil
 }

@@ -128,6 +128,9 @@ func TestMinDist(t *testing.T) {
 // --- Bulk loading -----------------------------------------------------------
 
 func TestBulkLoadMatchesIncremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(23))
 	objs := makeObjects(1200, 1500, rng)
 
@@ -246,6 +249,9 @@ func TestBulkLoadSmallAndExactCapacity(t *testing.T) {
 // --- Cost model --------------------------------------------------------------
 
 func TestCostModelPredictsWithinBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(27))
 	objs := makeObjects(2500, 2000, rng)
 	tree := buildTree(t, UTree, objs, 0)
@@ -336,6 +342,9 @@ func TestCostModelValidation(t *testing.T) {
 // --- Ablation knobs ----------------------------------------------------------
 
 func TestSplitStrategiesStayCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	rng := rand.New(rand.NewSource(29))
 	objs := makeObjects(500, 700, rng)
 	scan := NewScan(objs, 9, 0, true, 1)

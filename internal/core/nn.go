@@ -58,6 +58,15 @@ func (h nnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *nnHeap) Push(x any)        { *h = append(*h, x.(nnItem)) }
 func (h *nnHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
+// NearestNeighborsRO is the read-only NN entry point, mirroring
+// RangeQueryRO: NN traversal already keeps all its state on the stack
+// (ExpectedDistance seeds a fresh sampler per object), so with the sharded
+// buffer pool and atomic I/O counters it is safe for any number of
+// concurrent readers — provided no writer runs at the same time.
+func (t *Tree) NearestNeighborsRO(q geom.Point, k int) ([]NNResult, NNStats, error) {
+	return t.NearestNeighbors(q, k)
+}
+
 // NearestNeighbors returns the k objects with the smallest expected
 // distance to the query point q, in ascending order.
 func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error) {

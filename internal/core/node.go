@@ -20,7 +20,7 @@ func (n *node) leaf() bool { return n.level == 0 }
 // readNode fetches and deserializes a page, counting one logical node
 // access.
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
-	t.nodeReads++
+	t.nodeReads.Add(1)
 	buf, err := t.pool.Get(id)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading node %d: %w", id, err)
@@ -30,7 +30,7 @@ func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
 
 // writeNode serializes a node back to its page.
 func (t *Tree) writeNode(n *node) error {
-	t.nodeWrites++
+	t.nodeWrites.Add(1)
 	buf := make([]byte, pagefile.PageSize)
 	if err := t.encodeNode(n, buf); err != nil {
 		return err

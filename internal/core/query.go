@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -50,7 +52,43 @@ type QueryStats struct {
 // pruning during the descent, Observation 3 (U-tree) or Observation 2
 // (U-PCR) filtering at leaves, then refinement of surviving candidates with
 // their appearance probabilities, fetching each distinct data page once.
+//
+// Like the rest of Tree, it is not safe for concurrent use (it advances the
+// shared refinement sampler); concurrent readers go through RangeQueryRO.
 func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
+	return t.rangeQuery(q, t.rng)
+}
+
+// RangeQueryRO is the read-only query entry point: it answers q without
+// touching any insert/delete state, so any number of goroutines may call
+// it concurrently — provided no writer (Insert/Delete/BulkLoad) runs at
+// the same time. ConcurrentTree enforces that exclusion with a
+// readers-writer lock. Its refinement sampler is seeded from (tree seed,
+// query), so Monte Carlo results are reproducible per query regardless of
+// scheduling or batch order (like ExpectedDistance's per-object seeding).
+func (t *Tree) RangeQueryRO(q Query) ([]Result, QueryStats, error) {
+	return t.rangeQuery(q, rand.New(rand.NewSource(t.roSeed(q))))
+}
+
+// roSeed derives a deterministic sampler seed from the tree seed and the
+// query geometry (FNV-1a over the coordinate bits).
+func (t *Tree) roSeed(q Query) int64 {
+	h := (uint64(t.seed) ^ 14695981039346656037) * 1099511628211
+	mix := func(f float64) {
+		h ^= math.Float64bits(f)
+		h *= 1099511628211
+	}
+	for _, v := range q.Rect.Lo {
+		mix(v)
+	}
+	for _, v := range q.Rect.Hi {
+		mix(v)
+	}
+	mix(q.Prob)
+	return int64(h)
+}
+
+func (t *Tree) rangeQuery(q Query, rng *rand.Rand) ([]Result, QueryStats, error) {
 	var stats QueryStats
 	if err := validateQuery(t.dim, q); err != nil {
 		return nil, stats, err
@@ -136,7 +174,7 @@ func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: refining object %d: %w", c.id, err)
 		}
-		p := t.appearanceProbability(obj.PDF, q.Rect)
+		p := t.appearanceProbability(obj.PDF, q.Rect, rng)
 		stats.ProbComputations++
 		if p >= q.Prob {
 			results = append(results, Result{ID: obj.ID, Prob: p})
@@ -148,14 +186,15 @@ func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
 }
 
 // appearanceProbability evaluates Equation 2, by exact oracle when
-// configured and available, else by Monte Carlo (Equation 3).
-func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect) float64 {
+// configured and available, else by Monte Carlo (Equation 3) driven by the
+// caller's sampler.
+func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect, rng *rand.Rand) float64 {
 	if t.exact {
 		if ex, ok := p.(updf.ExactProber); ok {
 			return ex.ExactProb(rq)
 		}
 	}
-	return updf.MonteCarloProb(p, rq, t.samples, t.rng)
+	return updf.MonteCarloProb(p, rq, t.samples, rng)
 }
 
 func validateQuery(dim int, q Query) error {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -81,12 +82,17 @@ type Tree struct {
 	samples int
 	exact   bool
 
+	// seed is kept so the read-only query path can derive a deterministic
+	// per-query sampler (concurrent queries must not share t.rng).
+	seed int64
+
 	splitStrategy   SplitStrategy
 	disableReinsert bool
 
-	// Logical I/O counters (reset via ResetCounters).
-	nodeReads  int64
-	nodeWrites int64
+	// Logical I/O counters (reset via ResetCounters). Atomic so the
+	// read-only query path can run under a shared lock.
+	nodeReads  atomic.Int64
+	nodeWrites atomic.Int64
 
 	// Update statistics for the Fig. 11 experiment.
 	insertStats UpdateStats
@@ -146,6 +152,7 @@ func New(opt Options) (*Tree, error) {
 		splitStrategy:   opt.SplitStrategy,
 		disableReinsert: opt.DisableReinsert,
 	}
+	t.seed = seed
 	t.pool = pagefile.NewBufferPool(store, bufPages)
 	t.data = pagefile.NewDataFile(store)
 	t.leafCap, t.innerCap = capacities(t.kind, t.dim, m)
@@ -219,13 +226,20 @@ func (t *Tree) DeleteStats() UpdateStats { return t.deleteStats }
 
 // ResetCounters zeroes the logical I/O counters and update stats.
 func (t *Tree) ResetCounters() {
-	t.nodeReads, t.nodeWrites = 0, 0
+	t.nodeReads.Store(0)
+	t.nodeWrites.Store(0)
 	t.insertStats = UpdateStats{}
 	t.deleteStats = UpdateStats{}
 }
 
 // NodeIO returns the logical node reads/writes since the last reset.
-func (t *Tree) NodeIO() (reads, writes int64) { return t.nodeReads, t.nodeWrites }
+func (t *Tree) NodeIO() (reads, writes int64) {
+	return t.nodeReads.Load(), t.nodeWrites.Load()
+}
+
+// CacheStats reports the buffer pool's hit/miss counters, for throughput
+// reporting in batch query stats.
+func (t *Tree) CacheStats() (hits, misses int64) { return t.pool.HitRate() }
 
 // Flush writes all buffered pages through to the store.
 func (t *Tree) Flush() error { return t.pool.Flush() }
@@ -254,7 +268,7 @@ func (t *Tree) buildLeafEntry(o Object) (entry, error) {
 // are appended to the data file and referenced from the leaf entry.
 func (t *Tree) Insert(o Object) error {
 	start := time.Now()
-	r0, w0 := t.nodeReads, t.nodeWrites
+	r0, w0 := t.nodeReads.Load(), t.nodeWrites.Load()
 
 	e, err := t.buildLeafEntry(o)
 	if err != nil {
@@ -276,8 +290,8 @@ func (t *Tree) Insert(o Object) error {
 	t.size++
 
 	t.insertStats.Ops++
-	t.insertStats.PageReads += t.nodeReads - r0
-	t.insertStats.PageWrites += t.nodeWrites - w0
+	t.insertStats.PageReads += t.nodeReads.Load() - r0
+	t.insertStats.PageWrites += t.nodeWrites.Load() - w0
 	t.insertStats.CPUTime += time.Since(start)
 	return nil
 }

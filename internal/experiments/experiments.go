@@ -44,6 +44,10 @@ type Config struct {
 	// sweeps its own values).
 	MCSamples int
 	Seed      int64
+	// IOLatency is the simulated per-page storage latency for the parallel
+	// batch experiment; zero genuinely disables it (pure CPU). cmd/ubench
+	// defaults its -iolat flag to 2 ms; the era model's 10 ms is -iolat 10.
+	IOLatency time.Duration
 	// Out receives the printed tables (nil = io.Discard).
 	Out io.Writer
 }

@@ -3,22 +3,47 @@ package pagefile
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // BufferPool is a write-back LRU page cache over a Store. It exists as a
 // performance layer: the experiments count *logical* node accesses the way
 // the paper does, while the pool keeps repeated physical reads cheap.
 //
-// Access discipline: Get returns the pool's internal frame; callers must
-// finish with the slice before the next pool call (the trees deserialize
-// immediately). Not safe for concurrent use — wrap externally if needed.
+// The pool is sharded: each page maps to one of up to 16 mutex-guarded LRU
+// shards by PageID, so concurrent readers on different pages rarely contend,
+// and the hit/miss counters are atomic. Concurrency contract: any number of
+// goroutines may call Get/Put/Invalidate/Flush concurrently without
+// corrupting the pool. Get returns the pool's internal frame, shared with
+// other readers of the same page; callers that mutate a page (Put) or free
+// it (Invalidate) while another goroutine still reads its frame must
+// coordinate externally — a readers-writer lock around the tree, as
+// ConcurrentTree provides, is sufficient.
 type BufferPool struct {
-	store    Store
+	store  Store
+	shards []bufShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// bufShard is one mutex-guarded LRU slice of the pool.
+type bufShard struct {
+	mu       sync.Mutex
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recent
-	hits     int64
-	misses   int64
+	// loading coordinates concurrent misses on the same page: the first
+	// Get reads the store, later Gets wait on the entry instead of
+	// duplicating the (possibly slow) read.
+	loading map[PageID]*pageLoad
+}
+
+// pageLoad is an in-flight store read; done is closed once data/err are set.
+type pageLoad struct {
+	done chan struct{}
+	data []byte
+	err  error
 }
 
 type frame struct {
@@ -27,35 +52,97 @@ type frame struct {
 	dirty bool
 }
 
-// NewBufferPool wraps store with an LRU cache of the given page capacity
-// (minimum 1).
+const (
+	// maxShards bounds the shard count (power of two for cheap masking).
+	maxShards = 16
+	// minShardPages keeps shards from degenerating to single-frame LRUs on
+	// small pools: a shard is only added while every shard keeps ≥ 4 pages.
+	minShardPages = 4
+)
+
+// NewBufferPool wraps store with an LRU cache of the given total page
+// capacity (minimum 1), split across shards. Small pools get a single shard,
+// preserving exact global-LRU eviction order; larger pools trade that for
+// parallelism.
 func NewBufferPool(store Store, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[PageID]*list.Element),
-		lru:      list.New(),
+	n := 1
+	for n*2 <= maxShards && capacity/(n*2) >= minShardPages {
+		n *= 2
 	}
+	bp := &BufferPool{store: store, shards: make([]bufShard, n)}
+	for i := range bp.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		bp.shards[i] = bufShard{
+			capacity: c,
+			frames:   make(map[PageID]*list.Element),
+			lru:      list.New(),
+			loading:  make(map[PageID]*pageLoad),
+		}
+	}
+	return bp
 }
 
-// Get returns the page contents, reading through on a miss.
+func (bp *BufferPool) shard(id PageID) *bufShard {
+	return &bp.shards[int(id)&(len(bp.shards)-1)]
+}
+
+// Get returns the page contents, reading through on a miss. Concurrent
+// misses on the same page coalesce into one store read: the first caller
+// fills the frame, the rest wait on it. Every Get counts exactly one hit
+// (cached) or one miss (waited for storage).
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
-	if el, ok := bp.frames[id]; ok {
-		bp.hits++
-		bp.lru.MoveToFront(el)
-		return el.Value.(*frame).data, nil
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.frames[id]; ok {
+		sh.lru.MoveToFront(el)
+		data := el.Value.(*frame).data
+		sh.mu.Unlock()
+		bp.hits.Add(1)
+		return data, nil
 	}
-	bp.misses++
+	if pl, ok := sh.loading[id]; ok {
+		sh.mu.Unlock()
+		bp.misses.Add(1)
+		<-pl.done
+		return pl.data, pl.err
+	}
+	pl := &pageLoad{done: make(chan struct{})}
+	sh.loading[id] = pl
+	sh.mu.Unlock()
+
+	// Read outside the shard lock so misses on different pages of the same
+	// shard overlap their store I/O.
+	bp.misses.Add(1)
 	fr := &frame{id: id, data: make([]byte, PageSize)}
-	if err := bp.store.Read(id, fr.data); err != nil {
+	err := bp.store.Read(id, fr.data)
+
+	sh.mu.Lock()
+	delete(sh.loading, id)
+	if err == nil {
+		if el, ok := sh.frames[id]; ok {
+			// A Put cached the page while we read the store; its frame may
+			// carry buffered contents, so serve that copy, not ours.
+			sh.lru.MoveToFront(el)
+			fr = el.Value.(*frame)
+		} else {
+			err = sh.insert(bp.store, fr)
+		}
+	}
+	sh.mu.Unlock()
+
+	if err != nil {
+		pl.err = err
+		close(pl.done)
 		return nil, err
 	}
-	if err := bp.insert(fr); err != nil {
-		return nil, err
-	}
+	pl.data = fr.data
+	close(pl.done)
 	return fr.data, nil
 }
 
@@ -65,56 +152,76 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 	if len(data) != PageSize {
 		return ErrBadLength
 	}
-	if el, ok := bp.frames[id]; ok {
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.frames[id]; ok {
 		fr := el.Value.(*frame)
 		copy(fr.data, data)
 		fr.dirty = true
-		bp.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return nil
 	}
 	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true}
 	copy(fr.data, data)
-	return bp.insert(fr)
+	return sh.insert(bp.store, fr)
 }
 
-func (bp *BufferPool) insert(fr *frame) error {
-	for bp.lru.Len() >= bp.capacity {
-		back := bp.lru.Back()
+// insert places fr in the shard, evicting from the shard's LRU tail as
+// needed. Callers hold sh.mu. Dirty-victim write-back happens under the
+// shard lock — moving it outside would need in-flight tracking to stop a
+// concurrent Get from re-reading the not-yet-written page; read-heavy
+// phases avoid the stall by flushing beforehand (Tree.Flush), after which
+// query-path evictions are all clean.
+func (sh *bufShard) insert(store Store, fr *frame) error {
+	for sh.lru.Len() >= sh.capacity {
+		back := sh.lru.Back()
 		victim := back.Value.(*frame)
 		if victim.dirty {
-			if err := bp.store.Write(victim.id, victim.data); err != nil {
+			if err := store.Write(victim.id, victim.data); err != nil {
 				return fmt.Errorf("pagefile: evicting page %d: %w", victim.id, err)
 			}
 		}
-		bp.lru.Remove(back)
-		delete(bp.frames, victim.id)
+		sh.lru.Remove(back)
+		delete(sh.frames, victim.id)
 	}
-	bp.frames[fr.id] = bp.lru.PushFront(fr)
+	sh.frames[fr.id] = sh.lru.PushFront(fr)
 	return nil
 }
 
 // Invalidate drops a page from the cache without writing it back; used when
 // the underlying page is freed.
 func (bp *BufferPool) Invalidate(id PageID) {
-	if el, ok := bp.frames[id]; ok {
-		bp.lru.Remove(el)
-		delete(bp.frames, id)
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.frames[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.frames, id)
 	}
 }
 
 // Flush writes back every dirty frame.
 func (bp *BufferPool) Flush() error {
-	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		fr := el.Value.(*frame)
-		if fr.dirty {
-			if err := bp.store.Write(fr.id, fr.data); err != nil {
-				return err
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			fr := el.Value.(*frame)
+			if fr.dirty {
+				if err := bp.store.Write(fr.id, fr.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // HitRate reports cache effectiveness (hits, misses).
-func (bp *BufferPool) HitRate() (hits, misses int64) { return bp.hits, bp.misses }
+func (bp *BufferPool) HitRate() (hits, misses int64) {
+	return bp.hits.Load(), bp.misses.Load()
+}

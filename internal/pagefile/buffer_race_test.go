@@ -1,0 +1,73 @@
+package pagefile
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBufferPoolConcurrentGet hammers Get from many goroutines over a
+// working set larger than the pool, so hits, misses, evictions and the
+// lost-insert race all occur. Run with -race; this is the regression test
+// for the unsynchronized LRU the pool shipped with.
+func TestBufferPoolConcurrentGet(t *testing.T) {
+	s := NewMemStore()
+	const pages = 64
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, PageSize)
+		buf[0] = byte(id)
+		if err := s.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	bp := NewBufferPool(s, 16) // smaller than the working set: constant eviction
+	const workers = 16
+	const getsPerWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < getsPerWorker; i++ {
+				id := ids[rng.Intn(pages)]
+				got, err := bp.Get(id)
+				if err != nil {
+					t.Errorf("worker %d: Get(%d): %v", w, id, err)
+					return
+				}
+				if got[0] != byte(id) {
+					t.Errorf("worker %d: Get(%d) returned page stamped %d", w, id, got[0])
+					return
+				}
+				if i%97 == 0 {
+					bp.Invalidate(id) // concurrent drops must not corrupt other readers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every Get counts exactly one hit or one miss.
+	hits, misses := bp.HitRate()
+	if hits+misses != workers*getsPerWorker {
+		t.Fatalf("hits+misses = %d+%d = %d, want %d",
+			hits, misses, hits+misses, workers*getsPerWorker)
+	}
+	if misses == 0 {
+		t.Fatal("expected misses with a pool smaller than the working set")
+	}
+	// Concurrent misses on one page coalesce into a single store read, so
+	// physical reads never exceed recorded misses.
+	physReads, _, _, _ := s.Stats().Snapshot()
+	if physReads > misses {
+		t.Fatalf("%d physical reads > %d misses: concurrent misses not coalesced", physReads, misses)
+	}
+}

@@ -1,0 +1,62 @@
+package pagefile
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyStore wraps a Store and sleeps a fixed duration on every page read
+// and write — a stand-in for disk or network storage latency, in the spirit
+// of the paper's era cost model (10 ms per page access). The in-memory
+// store makes every access CPU-fast, which hides the benefit of
+// overlapping I/O; wrapping it with LatencyStore restores the latency
+// profile of a disk-resident index, so cache hit rates and parallel query
+// fan-out have measurable effect even on one core. Concurrent callers
+// sleep concurrently: the delay is taken outside the inner store's locks.
+type LatencyStore struct {
+	Inner Store
+	// delays in nanoseconds, atomic so they can be re-armed after a cheap
+	// zero-latency build phase.
+	readDelay  atomic.Int64
+	writeDelay atomic.Int64
+}
+
+// NewLatencyStore wraps inner with the given per-read and per-write delays.
+func NewLatencyStore(inner Store, readDelay, writeDelay time.Duration) *LatencyStore {
+	ls := &LatencyStore{Inner: inner}
+	ls.SetDelays(readDelay, writeDelay)
+	return ls
+}
+
+// SetDelays re-arms the simulated latencies (e.g. 0 during bulk build, then
+// the target latency for measurement).
+func (ls *LatencyStore) SetDelays(readDelay, writeDelay time.Duration) {
+	ls.readDelay.Store(int64(readDelay))
+	ls.writeDelay.Store(int64(writeDelay))
+}
+
+func (ls *LatencyStore) sleep(d *atomic.Int64) {
+	if ns := d.Load(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
+}
+
+// Alloc delegates without delay (allocation is metadata, not a page
+// transfer).
+func (ls *LatencyStore) Alloc() (PageID, error) { return ls.Inner.Alloc() }
+
+func (ls *LatencyStore) Read(id PageID, buf []byte) error {
+	ls.sleep(&ls.readDelay)
+	return ls.Inner.Read(id, buf)
+}
+
+func (ls *LatencyStore) Write(id PageID, buf []byte) error {
+	ls.sleep(&ls.writeDelay)
+	return ls.Inner.Write(id, buf)
+}
+
+func (ls *LatencyStore) Free(id PageID) error { return ls.Inner.Free(id) }
+
+func (ls *LatencyStore) NumPages() int { return ls.Inner.NumPages() }
+
+func (ls *LatencyStore) Stats() *Stats { return ls.Inner.Stats() }

@@ -1,6 +1,11 @@
 package uncertain
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
 
 // ConcurrentTree wraps a Tree with a readers-writer lock so searches run in
 // parallel while updates serialize. The underlying U-tree is single-writer
@@ -41,25 +46,45 @@ func (c *ConcurrentTree) BulkLoad(objects map[int64]PDF) error {
 	return c.tree.BulkLoad(objects)
 }
 
-// Search answers a probabilistic range query.
-//
-// Note: this still takes the exclusive lock, not the read lock — a query
-// mutates shared state (the buffer pool's LRU list and the refinement
-// sampler), so concurrent queries on one tree are serialized. The win over
-// bare Tree is safety, not parallel reads; use one ConcurrentTree per
-// goroutine-pool shard for read scaling.
+// Search answers a probabilistic range query under the read lock: any
+// number of goroutines may search in parallel while updates serialize. The
+// read path is genuinely shared-state free — the buffer pool is sharded,
+// and each query's refinement sampler is seeded deterministically from the
+// (tree seed, query) pair (core.RangeQueryRO) — so parallel searches scale
+// with cores and results are reproducible per query. QueryEngine builds
+// batch fan-out on top of this.
 func (c *ConcurrentTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.Search(rect, prob)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.inner.RangeQueryRO(core.Query{Rect: rect, Prob: prob})
 }
 
-// NearestNeighbors answers an expected-distance k-NN query (see Search for
-// locking semantics).
+// NearestNeighbors answers an expected-distance k-NN query (read lock; see
+// Search for concurrency semantics).
 func (c *ConcurrentTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.inner.NearestNeighborsRO(q, k)
+}
+
+// CacheStats reports the underlying buffer pool's cumulative hit/miss
+// counters (atomic; callable concurrently with searches).
+func (c *ConcurrentTree) CacheStats() (hits, misses int64) {
+	return c.tree.inner.CacheStats()
+}
+
+// SetSimulatedPageLatency re-arms the simulated storage latency (see
+// Tree.SetSimulatedPageLatency); safe to call concurrently with queries.
+func (c *ConcurrentTree) SetSimulatedPageLatency(d time.Duration) {
+	c.tree.SetSimulatedPageLatency(d)
+}
+
+// Flush writes buffered dirty pages through to the store (exclusive lock;
+// see Tree.Flush for why this helps before read-heavy phases).
+func (c *ConcurrentTree) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tree.NearestNeighbors(q, k)
+	return c.tree.Flush()
 }
 
 // Len returns the object count.

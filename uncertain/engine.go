@@ -1,0 +1,215 @@
+package uncertain
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the batch query engine: a bounded worker pool fanning many
+// independent queries across one shared ConcurrentTree. Every worker reads
+// under the tree's shared lock (ConcurrentTree.Search / NearestNeighbors),
+// so batches interleave freely with live updates — writers simply serialize
+// against the readers. The design follows the scalable filter/refinement
+// pipelines of Bernecker et al. (probabilistic similarity ranking): the
+// per-query work is already filter-then-refine, so throughput comes from
+// running many queries' pipelines concurrently against a page cache that
+// tolerates parallel readers.
+
+// RangeQuery is one probabilistic range query in a batch.
+type RangeQuery struct {
+	Rect Rect
+	// Prob is the appearance-probability threshold in (0, 1].
+	Prob float64
+}
+
+// NNQuery is one expected-distance k-NN query in a batch.
+type NNQuery struct {
+	Point Point
+	K     int
+}
+
+// BatchStats aggregates the paper's per-query cost metrics over a batch.
+type BatchStats struct {
+	Queries int
+	Workers int
+	// WallTime is the end-to-end batch latency; QueriesPerSec = Queries /
+	// WallTime.
+	WallTime      time.Duration
+	QueriesPerSec float64
+
+	NodeAccesses     int     // total tree pages visited
+	MeanNodeAccesses float64 // per query
+	// ProbComputations counts appearance-probability evaluations for range
+	// batches and expected-distance evaluations for NN batches — the
+	// expensive refinement step either way.
+	ProbComputations     int
+	MeanProbComputations float64
+	// Validated and ValidatedPct report how many results were proven without
+	// any probability computation (range batches only; the PCR filter's win).
+	Validated    int
+	ValidatedPct float64
+	Results      int
+
+	// Buffer-pool deltas over the batch's wall-time window. The pool's
+	// counters are tree-wide, so when batches overlap on one tree — or
+	// writers run concurrently — these include the other parties' traffic;
+	// they are exact only for a batch running alone.
+	CacheHits    int64
+	CacheMisses  int64
+	CacheHitRate float64 // hits / (hits+misses); 0 when the window had no pool I/O
+}
+
+// EngineOptions configures a QueryEngine.
+type EngineOptions struct {
+	// Workers bounds the query fan-out (0 → runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+// QueryEngine runs batches of queries concurrently against one shared
+// index. It holds no per-batch state, so one engine may serve many
+// goroutines, and batches may overlap with Insert/Delete on the same
+// ConcurrentTree.
+//
+//	ct, _ := uncertain.NewConcurrentTree(uncertain.Config{Dimensions: 2})
+//	// ... load objects ...
+//	eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: 4})
+//	results, stats, err := eng.SearchBatch(queries)
+type QueryEngine struct {
+	ct      *ConcurrentTree
+	workers int
+}
+
+// NewQueryEngine builds an engine over ct.
+func NewQueryEngine(ct *ConcurrentTree, opt EngineOptions) *QueryEngine {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &QueryEngine{ct: ct, workers: w}
+}
+
+// Workers reports the configured fan-out bound.
+func (e *QueryEngine) Workers() int { return e.workers }
+
+// SearchBatch answers every query and returns per-query results (index i
+// answers queries[i]) plus aggregated stats. On the first query error the
+// batch stops and that error is returned.
+func (e *QueryEngine) SearchBatch(queries []RangeQuery) ([][]Result, BatchStats, error) {
+	out := make([][]Result, len(queries))
+	perQuery := make([]Stats, len(queries))
+	stats, err := e.run(len(queries), func(i int) error {
+		res, st, err := e.ct.Search(queries[i].Rect, queries[i].Prob)
+		if err != nil {
+			return fmt.Errorf("uncertain: batch query %d: %w", i, err)
+		}
+		out[i], perQuery[i] = res, st
+		return nil
+	})
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	for i := range perQuery {
+		stats.NodeAccesses += perQuery[i].NodeAccesses
+		stats.ProbComputations += perQuery[i].ProbComputations
+		stats.Validated += perQuery[i].Validated
+		stats.Results += len(out[i])
+	}
+	stats.finish()
+	return out, stats, nil
+}
+
+// NNBatch answers every k-NN query (index i answers queries[i]) plus
+// aggregated stats; ProbComputations counts expected-distance evaluations.
+func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, error) {
+	out := make([][]Neighbor, len(queries))
+	perQuery := make([]NNStats, len(queries))
+	stats, err := e.run(len(queries), func(i int) error {
+		res, st, err := e.ct.NearestNeighbors(queries[i].Point, queries[i].K)
+		if err != nil {
+			return fmt.Errorf("uncertain: batch query %d: %w", i, err)
+		}
+		out[i], perQuery[i] = res, st
+		return nil
+	})
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	for i := range perQuery {
+		stats.NodeAccesses += perQuery[i].NodeAccesses
+		stats.ProbComputations += perQuery[i].DistanceComps
+		stats.Results += len(out[i])
+	}
+	stats.finish()
+	return out, stats, nil
+}
+
+// run fans n tasks across the worker pool and times the batch. Workers pull
+// indices from a shared counter; the first error latches, the workers exit,
+// and any unstarted tasks are abandoned.
+func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
+	h0, m0 := e.ct.CacheStats()
+	start := time.Now()
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := task(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return BatchStats{}, firstErr
+	}
+
+	h1, m1 := e.ct.CacheStats()
+	stats := BatchStats{
+		Queries:     n,
+		Workers:     workers,
+		WallTime:    time.Since(start),
+		CacheHits:   h1 - h0,
+		CacheMisses: m1 - m0,
+	}
+	return stats, nil
+}
+
+// finish derives the per-query and rate metrics from the accumulated sums.
+func (s *BatchStats) finish() {
+	if s.Queries > 0 {
+		s.MeanNodeAccesses = float64(s.NodeAccesses) / float64(s.Queries)
+		s.MeanProbComputations = float64(s.ProbComputations) / float64(s.Queries)
+	}
+	if s.Results > 0 {
+		s.ValidatedPct = 100 * float64(s.Validated) / float64(s.Results)
+	}
+	if io := s.CacheHits + s.CacheMisses; io > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(io)
+	}
+	if s.WallTime > 0 {
+		s.QueriesPerSec = float64(s.Queries) / s.WallTime.Seconds()
+	}
+}

@@ -90,6 +90,9 @@ func TestFacadePolygonAndMixture(t *testing.T) {
 }
 
 func TestFacadeCostModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running; skipped with -short")
+	}
 	tree, err := NewTree(Config{Dimensions: 2, ExactRefinement: true})
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@ package uncertain
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -38,7 +39,11 @@ type Rect = geom.Rect
 // custom distributions.
 type PDF = updf.PDF
 
-// Result is one object qualifying a probabilistic range query.
+// Result is one object qualifying a probabilistic range query. When the
+// index validated the object directly from its PCRs — the paper's headline
+// saving — no appearance probability was ever computed: Validated is true
+// and Prob is -1 ("validated without probability computation"). Prob holds
+// the computed probability only for objects that went through refinement.
 type Result = core.Result
 
 // Stats reports the cost of one query in the paper's metrics: node
@@ -105,15 +110,24 @@ type Config struct {
 	Path string
 	// Seed for the refinement sampler (0 → 1).
 	Seed int64
+	// BufferPages sizes the page cache (0 → 256).
+	BufferPages int
+	// SimulatedPageLatency adds a fixed delay to every physical page read
+	// and write, modeling disk- or network-resident storage (the paper's
+	// cost model charges 10 ms per page access). Cache hits skip it, so it
+	// makes buffer-pool effectiveness and batch-query parallelism
+	// measurable on fast hardware. Zero (the default) disables it.
+	SimulatedPageLatency time.Duration
 }
 
 // Tree is a dynamic index over uncertain objects supporting probabilistic
 // range search. Not safe for concurrent use.
 type Tree struct {
-	inner *core.Tree
-	file  *pagefile.FileStore
-	meta  pagefile.PageID
-	pdfs  map[int64]Rect // id → region MBR, to make Delete(id) ergonomic
+	inner   *core.Tree
+	file    *pagefile.FileStore
+	meta    pagefile.PageID
+	latency *pagefile.LatencyStore // always interposed by NewTree/OpenTree
+	pdfs    map[int64]Rect         // id → region MBR, to make Delete(id) ergonomic
 }
 
 // NewTree creates an empty index.
@@ -124,6 +138,7 @@ func NewTree(cfg Config) (*Tree, error) {
 		MCSamples:       cfg.MonteCarloSamples,
 		ExactRefinement: cfg.ExactRefinement,
 		Seed:            cfg.Seed,
+		BufferPages:     cfg.BufferPages,
 	}
 	if cfg.UPCR {
 		opt.Kind = core.UPCR
@@ -145,6 +160,15 @@ func NewTree(cfg Config) (*Tree, error) {
 		}
 		t.meta = meta
 	}
+	// Always interpose the latency store (zero delay is a no-sleep fast
+	// path) so SetSimulatedPageLatency can arm or disarm at any time — a
+	// conditional wrap would make later calls silent no-ops.
+	base := opt.Store
+	if base == nil {
+		base = pagefile.NewMemStore()
+	}
+	t.latency = pagefile.NewLatencyStore(base, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
+	opt.Store = t.latency
 	inner, err := core.New(opt)
 	if err != nil {
 		if t.file != nil {
@@ -196,6 +220,21 @@ func (t *Tree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
 	return t.inner.RangeQuery(core.Query{Rect: rect, Prob: prob})
 }
 
+// SetSimulatedPageLatency arms or disarms the simulated storage latency at
+// runtime — e.g. zero during a bulk build, then the target value for
+// measurement. Works on any tree built by NewTree/OpenTree, whatever the
+// Config started with.
+func (t *Tree) SetSimulatedPageLatency(d time.Duration) {
+	if t.latency != nil {
+		t.latency.SetDelays(d, d)
+	}
+}
+
+// Flush writes every buffered dirty page through to the store. Useful
+// before a read-heavy phase: a clean pool evicts without write-backs, so
+// concurrent searches never stall on flushing another query's victim.
+func (t *Tree) Flush() error { return t.inner.Flush() }
+
 // Len returns the number of indexed objects.
 func (t *Tree) Len() int { return t.inner.Len() }
 
@@ -229,14 +268,18 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.Open(fs, 1, core.Options{
+	t := &Tree{file: fs, meta: 1, pdfs: make(map[int64]Rect)}
+	t.latency = pagefile.NewLatencyStore(fs, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
+	inner, err := core.Open(t.latency, 1, core.Options{
 		MCSamples:       cfg.MonteCarloSamples,
 		ExactRefinement: cfg.ExactRefinement,
 		Seed:            cfg.Seed,
+		BufferPages:     cfg.BufferPages,
 	})
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
-	return &Tree{inner: inner, file: fs, meta: 1, pdfs: make(map[int64]Rect)}, nil
+	t.inner = inner
+	return t, nil
 }
