@@ -296,6 +296,43 @@ func BenchmarkFig9SearchBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9SearchSharded sweeps the shard count on the same Fig. 9
+// workload (serial query loop, 2 ms simulated page latency): every query
+// scatter-gathers across the shards, overlapping its page stalls, so
+// queries/sec grows with shards even on one core. The per-shard buffer
+// pool is the single tree's divided by the shard count (constant total
+// cache budget); shards=1 is a plain ConcurrentTree. The mixed read/write
+// version (with a live writer stream) runs via
+// `go run ./cmd/ubench -experiment sharded`.
+func BenchmarkFig9SearchSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Scale = 0.05
+			cfg.Queries = 100
+			idx, queries, err := experiments.BuildShardedFixture(cfg, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			for _, q := range queries { // warm the page cache
+				if _, _, err := idx.Search(q.Rect, q.Prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+			idx.SetSimulatedPageLatency(2_000_000) // 2ms in ns
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, _, err := idx.Search(q.Rect, q.Prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
 // benchQueries builds a simple query mix whose centers follow the data.
 func benchQueries(objs []core.Object, qs, pq float64) []core.Query {
 	centers := make([]geom.Point, len(objs))

@@ -9,9 +9,10 @@
 //	ubench -experiment table1 -scale 1        # paper-scale dataset sizes
 //	ubench -experiment ablations
 //	ubench -parallel -workers 8               # batch engine throughput sweep
+//	ubench -experiment sharded -shards 4      # scatter-gather vs single tree
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
-// all.
+// sharded, all.
 // At -scale 1 the datasets match the paper (53k/62k/100k objects); smaller
 // scales preserve the qualitative shapes at a fraction of the runtime.
 package main
@@ -35,7 +36,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		parallel = flag.Bool("parallel", false, "run the batch query engine throughput sweep (alias for -experiment parallel)")
 		workers  = flag.Int("workers", 2*runtime.GOMAXPROCS(0), "max worker fan-out for -parallel (sweeps 1,2,4,... up to this)")
-		iolatMS  = flag.Float64("iolat", 2, "simulated per-page storage latency for -parallel, milliseconds (0 disables; paper era model: 10)")
+		iolatMS  = flag.Float64("iolat", 2, "simulated per-page storage latency for -parallel and -experiment sharded, milliseconds (0 disables; paper era model: 10)")
+		shards   = flag.Int("shards", 4, "max shard count for -experiment sharded (sweeps 1,2,4,... up to this)")
 	)
 	flag.Parse()
 	if *parallel {
@@ -53,6 +55,10 @@ func main() {
 	}
 	if (*parallel || *exp == "parallel" || *exp == "all") && *workers < 1 {
 		fmt.Fprintf(os.Stderr, "-workers must be ≥ 1, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if (*exp == "sharded" || *exp == "all") && *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards must be ≥ 1, got %d\n", *shards)
 		os.Exit(2)
 	}
 
@@ -103,14 +109,14 @@ func main() {
 	}
 	if all || *exp == "parallel" {
 		run("parallel", func() error {
-			var ws []int
-			for w := 1; w <= *workers; w *= 2 {
-				ws = append(ws, w)
-			}
-			if len(ws) > 0 && ws[len(ws)-1] != *workers {
-				ws = append(ws, *workers)
-			}
-			_, err := experiments.ParallelBatch(cfg, ws)
+			_, err := experiments.ParallelBatch(cfg, sweepUpTo(*workers))
+			return err
+		})
+		ran = true
+	}
+	if all || *exp == "sharded" {
+		run("sharded", func() error {
+			_, err := experiments.ShardedMixed(cfg, sweepUpTo(*shards))
 			return err
 		})
 		ran = true
@@ -127,4 +133,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// sweepUpTo builds the doubling sweep 1, 2, 4, … capped at max, always
+// ending on max itself (shared by the -workers and -shards sweeps).
+func sweepUpTo(max int) []int {
+	var vs []int
+	for v := 1; v <= max; v *= 2 {
+		vs = append(vs, v)
+	}
+	if len(vs) > 0 && vs[len(vs)-1] != max {
+		vs = append(vs, max)
+	}
+	return vs
 }

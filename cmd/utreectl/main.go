@@ -6,6 +6,11 @@
 //	utreectl verify -index /tmp/lb.utree
 //	utreectl query  -index /tmp/lb.utree -rect 1000,1000,2000,2000 -prob 0.7
 //	utreectl nn     -index /tmp/lb.utree -point 5000,5000 -k 5
+//
+// Every subcommand accepts -buffer (page-cache size in pages) and -latency
+// (simulated per-page storage delay, milliseconds) to exercise the index
+// under the paper's disk-era cost model — e.g. `utreectl query -latency 10
+// -buffer 32 ...` reports wall times dominated by the charged page I/O.
 package main
 
 import (
@@ -28,33 +33,43 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		index = fs.String("index", "", "index file path (required)")
-		ds    = fs.String("dataset", "LB", "dataset for build: LB|CA|Aircraft")
-		scale = fs.Float64("scale", 0.05, "dataset scale for build")
-		rect  = fs.String("rect", "", "query rectangle lo1,lo2[,lo3],hi1,hi2[,hi3]")
-		prob  = fs.Float64("prob", 0.5, "query probability threshold")
-		point = fs.String("point", "", "query point for nn: x1,x2[,x3]")
-		k     = fs.Int("k", 5, "neighbor count for nn")
-		upcr  = fs.Bool("upcr", false, "build the U-PCR variant instead")
+		index   = fs.String("index", "", "index file path (required)")
+		ds      = fs.String("dataset", "LB", "dataset for build: LB|CA|Aircraft")
+		scale   = fs.Float64("scale", 0.05, "dataset scale for build")
+		rect    = fs.String("rect", "", "query rectangle lo1,lo2[,lo3],hi1,hi2[,hi3]")
+		prob    = fs.Float64("prob", 0.5, "query probability threshold")
+		point   = fs.String("point", "", "query point for nn: x1,x2[,x3]")
+		k       = fs.Int("k", 5, "neighbor count for nn")
+		upcr    = fs.Bool("upcr", false, "build the U-PCR variant instead")
+		buffer  = fs.Int("buffer", 0, "buffer pool size in pages (0 = default 256)")
+		latency = fs.Float64("latency", 0, "simulated per-page storage latency, milliseconds (0 disables; paper era model: 10)")
 	)
 	fs.Parse(os.Args[2:])
 	if *index == "" {
 		fmt.Fprintln(os.Stderr, "missing -index")
 		usage()
 	}
+	if *buffer < 0 || *latency < 0 {
+		fmt.Fprintln(os.Stderr, "-buffer and -latency must be ≥ 0")
+		usage()
+	}
+	cfg := uncertain.Config{
+		BufferPages:          *buffer,
+		SimulatedPageLatency: time.Duration(*latency * float64(time.Millisecond)),
+	}
 
 	var err error
 	switch cmd {
 	case "build":
-		err = build(*index, dataset.Name(*ds), *scale, *upcr)
+		err = build(*index, dataset.Name(*ds), *scale, *upcr, cfg)
 	case "stats":
-		err = stats(*index)
+		err = stats(*index, cfg)
 	case "verify":
-		err = verify(*index)
+		err = verify(*index, cfg)
 	case "query":
-		err = query(*index, *rect, *prob)
+		err = query(*index, *rect, *prob, cfg)
 	case "nn":
-		err = nearest(*index, *point, *k)
+		err = nearest(*index, *point, *k, cfg)
 	default:
 		usage()
 	}
@@ -69,13 +84,12 @@ func usage() {
 	os.Exit(2)
 }
 
-func build(path string, name dataset.Name, scale float64, upcr bool) error {
+func build(path string, name dataset.Name, scale float64, upcr bool, cfg uncertain.Config) error {
 	objs := dataset.Generate(dataset.Config{Name: name, Scale: scale})
-	tree, err := uncertain.NewTree(uncertain.Config{
-		Dimensions: name.Dim(),
-		Path:       path,
-		UPCR:       upcr,
-	})
+	cfg.Dimensions = name.Dim()
+	cfg.Path = path
+	cfg.UPCR = upcr
+	tree, err := uncertain.NewTree(cfg)
 	if err != nil {
 		return err
 	}
@@ -102,8 +116,8 @@ func kindName(upcr bool) string {
 	return "U-tree"
 }
 
-func stats(path string) error {
-	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+func stats(path string, cfg uncertain.Config) error {
+	tree, err := uncertain.OpenTree(path, cfg)
 	if err != nil {
 		return err
 	}
@@ -118,8 +132,8 @@ func stats(path string) error {
 	return nil
 }
 
-func verify(path string) error {
-	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+func verify(path string, cfg uncertain.Config) error {
+	tree, err := uncertain.OpenTree(path, cfg)
 	if err != nil {
 		return err
 	}
@@ -131,7 +145,7 @@ func verify(path string) error {
 	return nil
 }
 
-func query(path, rectSpec string, prob float64) error {
+func query(path, rectSpec string, prob float64, cfg uncertain.Config) error {
 	if rectSpec == "" {
 		return fmt.Errorf("missing -rect")
 	}
@@ -150,7 +164,7 @@ func query(path, rectSpec string, prob float64) error {
 	}
 	rq := geom.NewRect(coords[:d], coords[d:])
 
-	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+	tree, err := uncertain.OpenTree(path, cfg)
 	if err != nil {
 		return err
 	}
@@ -177,7 +191,7 @@ func query(path, rectSpec string, prob float64) error {
 	return nil
 }
 
-func nearest(path, pointSpec string, k int) error {
+func nearest(path, pointSpec string, k int, cfg uncertain.Config) error {
 	if pointSpec == "" {
 		return fmt.Errorf("missing -point")
 	}
@@ -190,7 +204,7 @@ func nearest(path, pointSpec string, k int) error {
 		}
 		q[i] = v
 	}
-	tree, err := uncertain.OpenTree(path, uncertain.Config{})
+	tree, err := uncertain.OpenTree(path, cfg)
 	if err != nil {
 		return err
 	}

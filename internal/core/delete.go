@@ -49,7 +49,9 @@ func (t *Tree) Delete(id int64, mbr geom.Rect) error {
 // findLeaf locates the leaf containing (id, mbr). A subtree can hold the
 // entry only if its boundary box at p_1 = 0 contains the object's MBR: a
 // leaf entry's cfb_out(0) (U-tree) or pcr(0) (U-PCR) covers the region MBR,
-// and intermediate boxes cover those in turn.
+// and intermediate boxes cover those in turn. The descent tolerates the
+// same float epsilon as CheckInvariants, so a box whose faces round a hair
+// inside the true union never hides an existing entry.
 func (t *Tree) findLeaf(page pagefile.PageID, path []pathElem, id int64, mbr geom.Rect) (*node, []pathElem, int, error) {
 	n, err := t.readNode(page)
 	if err != nil {
@@ -64,7 +66,7 @@ func (t *Tree) findLeaf(page pagefile.PageID, path []pathElem, id int64, mbr geo
 		return nil, nil, -1, nil
 	}
 	for i := range n.entries {
-		if !t.boxAt(n.entries[i].boxes, 0).Contains(mbr) {
+		if !containsEps(t.boxAt(n.entries[i].boxes, 0), mbr, 1e-7) {
 			continue
 		}
 		leaf, p, idx, err := t.findLeaf(n.entries[i].child, append(path, pathElem{n: n, childIdx: i}), id, mbr)

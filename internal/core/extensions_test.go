@@ -458,3 +458,44 @@ func TestPolygonAndMixtureObjectsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeleteAfterBulkLoadSharedShapes: insert-then-delete must succeed on
+// trees bulk-loaded with identically shaped objects in any order. The
+// shared quantile cache used to make leaf CFBs depend on which object
+// computed the cached quantiles first, and a ~1e-13 undershoot versus the
+// MBR made the strict delete descent miss freshly inserted entries for
+// some load orders (the failing orders varied with Go's map iteration).
+func TestDeleteAfterBulkLoadSharedShapes(t *testing.T) {
+	for shuf := int64(0); shuf < 8; shuf++ {
+		rng := rand.New(rand.NewSource(1000 + shuf))
+		objs := make([]Object, 120)
+		for i := range objs {
+			ctr := geom.Point{250 + rng.Float64()*9500, 250 + rng.Float64()*9500}
+			objs[i] = Object{ID: int64(i), PDF: updf.NewUniformBall(ctr, 250)}
+		}
+		rng.Shuffle(len(objs), func(i, j int) { objs[i], objs[j] = objs[j], objs[i] })
+		tree, err := New(Options{Dim: 2, ExactRefinement: true, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.BulkLoad(objs); err != nil {
+			t.Fatal(err)
+		}
+		for op := int64(0); op < 150; op++ {
+			ctr := geom.Point{250 + rng.Float64()*9500, 250 + rng.Float64()*9500}
+			pdf := updf.NewUniformBall(ctr, 250)
+			id := 1_000_000 + op
+			if err := tree.Insert(Object{ID: id, PDF: pdf}); err != nil {
+				t.Fatal(err)
+			}
+			if op%2 == 0 {
+				if err := tree.Delete(id, pdf.MBR()); err != nil {
+					t.Fatalf("shuffle %d op %d: delete %d: %v", shuf, op, id, err)
+				}
+			}
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("shuffle %d: %v", shuf, err)
+		}
+	}
+}

@@ -40,6 +40,14 @@ type NNStats struct {
 	RefinementIOs int
 }
 
+// Add accumulates o into s — the NN counterpart of QueryStats.Add, shared
+// by batch aggregation and shard merging.
+func (s *NNStats) Add(o NNStats) {
+	s.NodeAccesses += o.NodeAccesses
+	s.DistanceComps += o.DistanceComps
+	s.RefinementIOs += o.RefinementIOs
+}
+
 // nnItem is a priority-queue element: either a tree node or a leaf object
 // awaiting refinement.
 type nnItem struct {

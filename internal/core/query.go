@@ -48,6 +48,22 @@ type QueryStats struct {
 	RefineTime       time.Duration
 }
 
+// Add accumulates o into s, field by field. It is the single merge point
+// for query-cost aggregation — batch engines summing per-query stats and
+// sharded indexes merging per-shard stats both go through it, so a new
+// QueryStats field only needs its merge rule stated here.
+func (s *QueryStats) Add(o QueryStats) {
+	s.NodeAccesses += o.NodeAccesses
+	s.LeafAccesses += o.LeafAccesses
+	s.Candidates += o.Candidates
+	s.ProbComputations += o.ProbComputations
+	s.Validated += o.Validated
+	s.RefinementIOs += o.RefinementIOs
+	s.Results += o.Results
+	s.FilterTime += o.FilterTime
+	s.RefineTime += o.RefineTime
+}
+
 // RangeQuery executes a prob-range query (Section 5.2): Observation 4
 // pruning during the descent, Observation 3 (U-tree) or Observation 2
 // (U-PCR) filtering at leaves, then refinement of surviving candidates with

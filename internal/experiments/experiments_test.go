@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -161,6 +162,36 @@ func TestAblationsRun(t *testing.T) {
 	if cfbPts[0].BuildWritesPerOp >= cfbPts[1].BuildWritesPerOp {
 		t.Errorf("CFB pages %.0f ≥ PCR pages %.0f at equal m",
 			cfbPts[0].BuildWritesPerOp, cfbPts[1].BuildWritesPerOp)
+	}
+}
+
+// TestShardedMixedShapes runs the mixed read/write sweep at test scale:
+// the experiment itself enforces shard/single result equivalence and
+// post-stress invariants, so this asserts the rows and that sharding did
+// not lose throughput outright.
+func TestShardedMixedShapes(t *testing.T) {
+	cfg := tiny()
+	cfg.IOLatency = 500 * time.Microsecond // enough to make stalls overlappable, cheap enough for CI
+	rows, err := ShardedMixed(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Shards != 1 || rows[1].Shards != 2 {
+		t.Fatalf("unexpected shard counts: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.QPS <= 0 {
+			t.Errorf("%d shards: QPS %g", r.Shards, r.QPS)
+		}
+		if r.WriteOps == 0 {
+			t.Errorf("%d shards: writer stream did nothing", r.Shards)
+		}
+		if r.Stats.NodeAccesses == 0 {
+			t.Errorf("%d shards: stats not merged: %+v", r.Shards, r.Stats)
+		}
 	}
 }
 

@@ -105,6 +105,16 @@ func Compute(p updf.PDF, cat Catalog, cache *QuantileCache) PCRs {
 	for j := 0; j < m; j++ {
 		boxes[j] = geom.Rect{Lo: los[j], Hi: his[j]}
 	}
+	// pcr(0) is the uncertainty region MBR by definition. Pin it exactly:
+	// the quantile path computes ctr + (quantile − ctr') with the cache's
+	// seed object ctr', whose rounding can land ~1e-13 inside the true MBR —
+	// enough to break the strict containment chain (leaf CFB ⊆ parent boxes)
+	// that Delete's descent relies on, in a way that depends on which object
+	// warmed the cache. The nesting pass below re-expands pcr(0) if quantile
+	// noise pushed an inner box outside the MBR.
+	if cat.Value(0) == 0 {
+		boxes[0] = p.MBR().Clone()
+	}
 	// Enforce nesting exactly (quantile noise could break it marginally):
 	// pcr(p_{j}) must contain pcr(p_{j+1}).
 	for j := m - 2; j >= 0; j-- {

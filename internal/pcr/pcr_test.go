@@ -462,3 +462,27 @@ func TestCFBNeverContradictsPCR(t *testing.T) {
 		}
 	}
 }
+
+// TestComputePinsPCR0ToMBR: pcr(0) must be the uncertainty region MBR
+// bit-for-bit, no matter which same-shape object warmed the quantile
+// cache. The cached quantile offsets are relative to the seed object's
+// center, so ctr + (q − ctr') can round a hair inside the true MBR for
+// other centers; a pcr(0) even 1e-13 inside the MBR breaks the strict
+// containment chain that delete descents rely on (regression: map-order
+// dependent delete failures after BulkLoad).
+func TestComputePinsPCR0ToMBR(t *testing.T) {
+	cat := UniformCatalog(15)
+	qc := NewQuantileCache()
+	rng := rand.New(rand.NewSource(2000000))
+	for i := 0; i < 500; i++ {
+		ctr := geom.Point{250 + rng.Float64()*9500, 250 + rng.Float64()*9500}
+		ball := updf.NewUniformBall(ctr, 250)
+		pcrs := Compute(ball, cat, qc) // first iteration warms the shared cache
+		mbr := ball.MBR()
+		for d := 0; d < 2; d++ {
+			if pcrs.Boxes[0].Lo[d] > mbr.Lo[d] || pcrs.Boxes[0].Hi[d] < mbr.Hi[d] {
+				t.Fatalf("object %d: pcr(0) %v does not cover MBR %v", i, pcrs.Boxes[0], mbr)
+			}
+		}
+	}
+}

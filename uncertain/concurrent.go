@@ -94,6 +94,14 @@ func (c *ConcurrentTree) Len() int {
 	return c.tree.Len()
 }
 
+// CheckInvariants validates the index structure. The traversal is
+// read-only, so it shares the read lock with searches.
+func (c *ConcurrentTree) CheckInvariants() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.CheckInvariants()
+}
+
 // Close flushes and closes the underlying tree.
 func (c *ConcurrentTree) Close() error {
 	c.mu.Lock()

@@ -66,6 +66,9 @@ func TestConcurrentTreeParallelMixedOps(t *testing.T) {
 	if got := ct.Len(); got != want {
 		t.Fatalf("Len = %d, want %d", got, want)
 	}
+	if err := ct.CheckInvariants(); err != nil {
+		t.Fatalf("tree invariants violated after mixed ops: %v", err)
+	}
 }
 
 func TestConcurrentTreeConfigError(t *testing.T) {
@@ -156,7 +159,7 @@ func TestSearchWhileInsertStress(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if err := ct.tree.CheckInvariants(); err != nil {
+	if err := ct.CheckInvariants(); err != nil {
 		t.Fatalf("tree invariants violated after stress: %v", err)
 	}
 }

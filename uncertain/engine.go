@@ -9,10 +9,10 @@ import (
 )
 
 // This file is the batch query engine: a bounded worker pool fanning many
-// independent queries across one shared ConcurrentTree. Every worker reads
-// under the tree's shared lock (ConcurrentTree.Search / NearestNeighbors),
-// so batches interleave freely with live updates — writers simply serialize
-// against the readers. The design follows the scalable filter/refinement
+// independent queries across one shared Index — a ConcurrentTree (workers
+// read under its shared lock, so batches interleave freely with live
+// updates) or a ShardedTree (each worker's query additionally scatters
+// across the shards). The design follows the scalable filter/refinement
 // pipelines of Bernecker et al. (probabilistic similarity ranking): the
 // per-query work is already filter-then-refine, so throughput comes from
 // running many queries' pipelines concurrently against a page cache that
@@ -69,26 +69,29 @@ type EngineOptions struct {
 }
 
 // QueryEngine runs batches of queries concurrently against one shared
-// index. It holds no per-batch state, so one engine may serve many
-// goroutines, and batches may overlap with Insert/Delete on the same
-// ConcurrentTree.
+// index. The index must tolerate concurrent readers — ConcurrentTree and
+// ShardedTree do; a bare Tree does NOT (its Search advances a shared
+// refinement sampler), so wrap one in a ConcurrentTree before handing it
+// to an engine. The engine holds no per-batch state, so one engine may
+// serve many goroutines, and batches may overlap with Insert/Delete on
+// the same concurrent index.
 //
 //	ct, _ := uncertain.NewConcurrentTree(uncertain.Config{Dimensions: 2})
 //	// ... load objects ...
 //	eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: 4})
 //	results, stats, err := eng.SearchBatch(queries)
 type QueryEngine struct {
-	ct      *ConcurrentTree
+	idx     Index
 	workers int
 }
 
-// NewQueryEngine builds an engine over ct.
-func NewQueryEngine(ct *ConcurrentTree, opt EngineOptions) *QueryEngine {
+// NewQueryEngine builds an engine over idx.
+func NewQueryEngine(idx Index, opt EngineOptions) *QueryEngine {
 	w := opt.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &QueryEngine{ct: ct, workers: w}
+	return &QueryEngine{idx: idx, workers: w}
 }
 
 // Workers reports the configured fan-out bound.
@@ -101,7 +104,7 @@ func (e *QueryEngine) SearchBatch(queries []RangeQuery) ([][]Result, BatchStats,
 	out := make([][]Result, len(queries))
 	perQuery := make([]Stats, len(queries))
 	stats, err := e.run(len(queries), func(i int) error {
-		res, st, err := e.ct.Search(queries[i].Rect, queries[i].Prob)
+		res, st, err := e.idx.Search(queries[i].Rect, queries[i].Prob)
 		if err != nil {
 			return fmt.Errorf("uncertain: batch query %d: %w", i, err)
 		}
@@ -111,12 +114,14 @@ func (e *QueryEngine) SearchBatch(queries []RangeQuery) ([][]Result, BatchStats,
 	if err != nil {
 		return nil, BatchStats{}, err
 	}
+	var agg Stats
 	for i := range perQuery {
-		stats.NodeAccesses += perQuery[i].NodeAccesses
-		stats.ProbComputations += perQuery[i].ProbComputations
-		stats.Validated += perQuery[i].Validated
-		stats.Results += len(out[i])
+		agg.Add(perQuery[i])
 	}
+	stats.NodeAccesses = agg.NodeAccesses
+	stats.ProbComputations = agg.ProbComputations
+	stats.Validated = agg.Validated
+	stats.Results = agg.Results
 	stats.finish()
 	return out, stats, nil
 }
@@ -127,7 +132,7 @@ func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, erro
 	out := make([][]Neighbor, len(queries))
 	perQuery := make([]NNStats, len(queries))
 	stats, err := e.run(len(queries), func(i int) error {
-		res, st, err := e.ct.NearestNeighbors(queries[i].Point, queries[i].K)
+		res, st, err := e.idx.NearestNeighbors(queries[i].Point, queries[i].K)
 		if err != nil {
 			return fmt.Errorf("uncertain: batch query %d: %w", i, err)
 		}
@@ -137,9 +142,13 @@ func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, erro
 	if err != nil {
 		return nil, BatchStats{}, err
 	}
+	var agg NNStats
 	for i := range perQuery {
-		stats.NodeAccesses += perQuery[i].NodeAccesses
-		stats.ProbComputations += perQuery[i].DistanceComps
+		agg.Add(perQuery[i])
+	}
+	stats.NodeAccesses = agg.NodeAccesses
+	stats.ProbComputations = agg.DistanceComps
+	for i := range out {
 		stats.Results += len(out[i])
 	}
 	stats.finish()
@@ -150,7 +159,7 @@ func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, erro
 // indices from a shared counter; the first error latches, the workers exit,
 // and any unstarted tasks are abandoned.
 func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
-	h0, m0 := e.ct.CacheStats()
+	h0, m0 := e.idx.CacheStats()
 	start := time.Now()
 
 	workers := e.workers
@@ -186,7 +195,7 @@ func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
 		return BatchStats{}, firstErr
 	}
 
-	h1, m1 := e.ct.CacheStats()
+	h1, m1 := e.idx.CacheStats()
 	stats := BatchStats{
 		Queries:     n,
 		Workers:     workers,

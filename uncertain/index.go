@@ -1,0 +1,52 @@
+package uncertain
+
+import "time"
+
+// Index is the unified contract of every U-tree variant in this package:
+// the single-goroutine Tree, the lock-protected ConcurrentTree, and the
+// scatter-gather ShardedTree. Code that drives an index — the batch
+// QueryEngine, the experiment harness, CLIs — should accept an Index so
+// callers pick the concurrency story that fits their workload:
+//
+//   - Tree: one goroutine, lowest overhead.
+//   - ConcurrentTree: shared readers behind one writer lock; a writer
+//     stalls every reader for the duration of its page I/O.
+//   - ShardedTree: K independent ConcurrentTrees; queries fan out across
+//     all shards and overlap their page latencies, and a writer stalls
+//     only the one shard that owns the object.
+type Index interface {
+	// Insert adds an object. IDs must be unique across the whole index.
+	Insert(id int64, pdf PDF) error
+	// Delete removes an object inserted in this process lifetime.
+	Delete(id int64) error
+	// BulkLoad batch-builds an empty index bottom-up.
+	BulkLoad(objects map[int64]PDF) error
+	// Search answers a probabilistic range query: objects appearing in rect
+	// with probability ≥ prob.
+	Search(rect Rect, prob float64) ([]Result, Stats, error)
+	// NearestNeighbors returns the k objects with the smallest expected
+	// distance to q, ascending.
+	NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error)
+	// Len returns the number of indexed objects.
+	Len() int
+	// CacheStats reports cumulative buffer-pool hits and misses (summed
+	// over shards for sharded indexes).
+	CacheStats() (hits, misses int64)
+	// SetSimulatedPageLatency arms or disarms the simulated storage latency
+	// on every underlying store.
+	SetSimulatedPageLatency(d time.Duration)
+	// Flush writes buffered dirty pages through to the store(s).
+	Flush() error
+	// CheckInvariants validates the index structure (every shard for
+	// sharded indexes).
+	CheckInvariants() error
+	// Close flushes and releases the index.
+	Close() error
+}
+
+// Compile-time checks that every variant satisfies the interface.
+var (
+	_ Index = (*Tree)(nil)
+	_ Index = (*ConcurrentTree)(nil)
+	_ Index = (*ShardedTree)(nil)
+)

@@ -1,0 +1,244 @@
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardedTree partitions the object set across K independent
+// ConcurrentTree shards, each with its own store, buffer pool and writer
+// lock. Objects are routed to a shard by a hash of their ID, and queries
+// scatter-gather: every shard is searched concurrently and the partial
+// answers are merged (with Stats summed via core's merge helpers).
+//
+// Compared to a single ConcurrentTree this buys two things on
+// latency-bound storage (the paper's setting — its cost model charges
+// 10 ms per page access):
+//
+//   - One query overlaps its page stalls across shards: latency ≈ the
+//     slowest shard's share instead of the sum.
+//   - A writer takes only its own shard's lock, so concurrent searches
+//     lose at most 1/K of their fan-out instead of stalling entirely.
+//
+// The split is by ID hash, not by space, so every shard sees queries from
+// the whole domain; each sub-tree indexes a uniform 1/K sample of the
+// data. Search results are returned sorted by ID (the merge order), and
+// with Config.ExactRefinement they are identical — probabilities included
+// — to a single tree over the same objects, whatever the shard count.
+type ShardedTree struct {
+	shards []*ConcurrentTree
+}
+
+// NewShardedTree creates an index with the given shard count. Every shard
+// is built from cfg; with Config.Path set, shard i is backed by the file
+// "<path>.shard<i>".
+func NewShardedTree(shards int, cfg Config) (*ShardedTree, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("uncertain: shard count %d, need ≥ 1", shards)
+	}
+	s := &ShardedTree{shards: make([]*ConcurrentTree, shards)}
+	for i := range s.shards {
+		scfg := cfg
+		if cfg.Path != "" {
+			scfg.Path = fmt.Sprintf("%s.shard%d", cfg.Path, i)
+		}
+		ct, err := NewConcurrentTree(scfg)
+		if err != nil {
+			for _, built := range s.shards[:i] {
+				built.Close()
+			}
+			return nil, fmt.Errorf("uncertain: shard %d: %w", i, err)
+		}
+		s.shards[i] = ct
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedTree) Shards() int { return len(s.shards) }
+
+// shardIndex routes an object ID to its shard with a splitmix64-style
+// finalizer, so dense sequential IDs still spread uniformly.
+func (s *ShardedTree) shardIndex(id int64) int {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(len(s.shards)))
+}
+
+func (s *ShardedTree) shardFor(id int64) *ConcurrentTree {
+	return s.shards[s.shardIndex(id)]
+}
+
+// Insert adds an object to the shard owning its ID; only that shard's
+// writer lock is taken.
+func (s *ShardedTree) Insert(id int64, pdf PDF) error {
+	return s.shardFor(id).Insert(id, pdf)
+}
+
+// Delete removes an object from the shard owning its ID.
+func (s *ShardedTree) Delete(id int64) error {
+	return s.shardFor(id).Delete(id)
+}
+
+// BulkLoad partitions the batch by ID hash and bulk-loads every shard
+// concurrently; all shards must be empty.
+func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
+	parts := make([]map[int64]PDF, len(s.shards))
+	for i := range parts {
+		parts[i] = make(map[int64]PDF, len(objects)/len(s.shards)+1)
+	}
+	for id, pdf := range objects {
+		parts[s.shardIndex(id)][id] = pdf
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.shards[i].BulkLoad(parts[i])
+		}(i)
+	}
+	wg.Wait()
+	return s.firstError(errs)
+}
+
+// Search scatter-gathers a probabilistic range query: every shard runs the
+// query concurrently (each under its own read lock, overlapping page
+// latencies), and the partial results are concatenated, sorted by ID, and
+// returned with the per-shard Stats merged.
+func (s *ShardedTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
+	partRes := make([][]Result, len(s.shards))
+	partStats := make([]Stats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partRes[i], partStats[i], errs[i] = s.shards[i].Search(rect, prob)
+		}(i)
+	}
+	wg.Wait()
+	if err := s.firstError(errs); err != nil {
+		return nil, Stats{}, err
+	}
+	var out []Result
+	var stats Stats
+	for i := range s.shards {
+		out = append(out, partRes[i]...)
+		stats.Add(partStats[i])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, stats, nil
+}
+
+// NearestNeighbors scatter-gathers an expected-distance k-NN query: each
+// shard reports its own top k concurrently, and the k-way merge keeps the
+// k globally smallest expected distances. The merge is exact — an object
+// in the global top k is necessarily in its own shard's top k.
+func (s *ShardedTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
+	partRes := make([][]Neighbor, len(s.shards))
+	partStats := make([]NNStats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partRes[i], partStats[i], errs[i] = s.shards[i].NearestNeighbors(q, k)
+		}(i)
+	}
+	wg.Wait()
+	if err := s.firstError(errs); err != nil {
+		return nil, NNStats{}, err
+	}
+	var merged []Neighbor
+	var stats NNStats
+	for i := range s.shards {
+		merged = append(merged, partRes[i]...)
+		stats.Add(partStats[i])
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].ExpectedDist != merged[b].ExpectedDist {
+			return merged[a].ExpectedDist < merged[b].ExpectedDist
+		}
+		return merged[a].ID < merged[b].ID // deterministic tie-break
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, stats, nil
+}
+
+// Len sums the object counts over all shards.
+func (s *ShardedTree) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// CacheStats sums the shards' buffer-pool hit/miss counters.
+func (s *ShardedTree) CacheStats() (hits, misses int64) {
+	for _, sh := range s.shards {
+		h, m := sh.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// SetSimulatedPageLatency re-arms the simulated storage latency on every
+// shard; safe to call concurrently with queries.
+func (s *ShardedTree) SetSimulatedPageLatency(d time.Duration) {
+	for _, sh := range s.shards {
+		sh.SetSimulatedPageLatency(d)
+	}
+}
+
+// Flush writes every shard's buffered dirty pages through to its store.
+func (s *ShardedTree) Flush() error {
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		errs[i] = sh.Flush()
+	}
+	return s.firstError(errs)
+}
+
+// CheckInvariants validates every shard's structure.
+func (s *ShardedTree) CheckInvariants() error {
+	for i, sh := range s.shards {
+		if err := sh.CheckInvariants(); err != nil {
+			return fmt.Errorf("uncertain: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every shard; every shard is closed even if one fails, and
+// the first error is returned.
+func (s *ShardedTree) Close() error {
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		errs[i] = sh.Close()
+	}
+	return s.firstError(errs)
+}
+
+// firstError returns the first non-nil error, annotated with its shard.
+func (s *ShardedTree) firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("uncertain: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package uncertain
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// shardedFixtureObjects builds a deterministic population of uniform-circle
+// objects (exact refinement capable).
+func shardedFixtureObjects(n int, seed int64) map[int64]PDF {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make(map[int64]PDF, n)
+	for i := int64(0); i < int64(n); i++ {
+		objs[i] = UniformCircle(
+			Pt(rng.Float64()*1000, rng.Float64()*1000), 5+rng.Float64()*15)
+	}
+	return objs
+}
+
+func shardedFixtureQueries(n int, seed int64) []RangeQuery {
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]RangeQuery, n)
+	for i := range queries {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		half := 40 + rng.Float64()*120
+		queries[i] = RangeQuery{
+			Rect: Box(Pt(cx-half, cy-half), Pt(cx+half, cy+half)),
+			Prob: 0.1 + 0.8*rng.Float64(),
+		}
+	}
+	return queries
+}
+
+func sortByID(res []Result) []Result {
+	out := make([]Result, len(res))
+	copy(out, res)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// TestShardedSingleEquivalence is the sharding correctness contract: the
+// same objects and the same queries must yield identical result sets —
+// IDs, probabilities (exact refinement), validated flags — whether the
+// index is a single tree or sharded 1/2/4 ways.
+func TestShardedSingleEquivalence(t *testing.T) {
+	objects := shardedFixtureObjects(600, 3)
+	queries := shardedFixtureQueries(80, 4)
+
+	single, err := NewConcurrentTree(Config{Dimensions: 2, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if err := single.BulkLoad(objects); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		res, _, err := single.Search(q.Rect, q.Prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sortByID(res)
+	}
+
+	nonEmpty := 0
+	for _, w := range want {
+		if len(w) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("degenerate workload: every query returned nothing")
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		st, err := NewShardedTree(shards, Config{Dimensions: 2, ExactRefinement: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.BulkLoad(objects); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Len(); got != len(objects) {
+			t.Fatalf("%d shards: Len = %d, want %d", shards, got, len(objects))
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("%d shards: invariants after BulkLoad: %v", shards, err)
+		}
+		for i, q := range queries {
+			res, stats, err := st.Search(q.Rect, q.Prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ShardedTree.Search returns ID-sorted results already; sortByID
+			// would mask a violation of that documented contract.
+			if !sort.SliceIsSorted(res, func(a, b int) bool { return res[a].ID < res[b].ID }) {
+				t.Fatalf("%d shards query %d: results not sorted by ID", shards, i)
+			}
+			if len(res) != len(want[i]) {
+				t.Fatalf("%d shards query %d: %d results, single tree %d",
+					shards, i, len(res), len(want[i]))
+			}
+			for j := range res {
+				if res[j] != want[i][j] {
+					t.Fatalf("%d shards query %d result %d: %+v, single tree %+v",
+						shards, i, j, res[j], want[i][j])
+				}
+			}
+			if stats.Results != len(res) {
+				t.Fatalf("%d shards query %d: merged stats.Results = %d, want %d",
+					shards, i, stats.Results, len(res))
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedNNMatchesSingle: the per-shard top-k / k-way merge must
+// reproduce the single tree's k-NN answers (expected distances are
+// deterministic per object).
+func TestShardedNNMatchesSingle(t *testing.T) {
+	objects := shardedFixtureObjects(400, 7)
+
+	single, err := NewConcurrentTree(Config{Dimensions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if err := single.BulkLoad(objects); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewShardedTree(4, Config{Dimensions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BulkLoad(objects); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 24; i++ {
+		q := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		k := 1 + rng.Intn(8)
+		want, _, err := single.NearestNeighbors(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := st.NearestNeighbors(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d neighbors, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d neighbor %d: %+v, single tree %+v", i, j, got[j], want[j])
+			}
+		}
+		if stats.NodeAccesses == 0 || stats.DistanceComps == 0 {
+			t.Fatalf("query %d: shard NN stats not merged: %+v", i, stats)
+		}
+	}
+}
+
+// TestShardedRoutingAndDelete: inserts spread across shards, deletes route
+// back to the owning shard, and missing IDs error.
+func TestShardedRoutingAndDelete(t *testing.T) {
+	st, err := NewShardedTree(4, Config{Dimensions: 2, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		if err := st.Insert(i, UniformCircle(Pt(float64(i%20)*50, float64(i/20)*50), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	// Sequential IDs must not pile onto one shard.
+	for i, sh := range st.shards {
+		if sh.Len() == 0 {
+			t.Fatalf("shard %d received no objects from %d sequential IDs", i, n)
+		}
+	}
+	for i := int64(0); i < n; i += 2 {
+		if err := st.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Len(); got != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", got, n/2)
+	}
+	if err := st.Delete(0); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after insert/delete sequence: %v", err)
+	}
+}
+
+// TestShardedFileBacked: Config.Path fans out to one file per shard.
+func TestShardedFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "lb.utree")
+	st, err := NewShardedTree(2, Config{Dimensions: 2, Path: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		if err := st.Insert(i, UniformCircle(Pt(float64(i)*10, float64(i)*10), 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		path := fmt.Sprintf("%s.shard%d", base, i)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("shard file %s: %v", path, err)
+		}
+	}
+}
+
+// TestShardedConfigErrors: invalid shard counts and shard configs fail up
+// front, without leaking half-built shards.
+func TestShardedConfigErrors(t *testing.T) {
+	if _, err := NewShardedTree(0, Config{Dimensions: 2}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewShardedTree(4, Config{}); err == nil {
+		t.Fatal("zero dimensions accepted")
+	}
+}
+
+// TestEngineOverShardedTree: the batch engine is index-agnostic — batches
+// over a ShardedTree must match the serial sharded answers exactly.
+func TestEngineOverShardedTree(t *testing.T) {
+	objects := shardedFixtureObjects(500, 11)
+	queries := shardedFixtureQueries(48, 12)
+
+	st, err := NewShardedTree(3, Config{Dimensions: 2, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BulkLoad(objects); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := make([][]Result, len(queries))
+	for i, q := range queries {
+		res, _, err := st.Search(q.Rect, q.Prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	eng := NewQueryEngine(st, EngineOptions{Workers: 4})
+	batch, stats, err := eng.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if !sameResults(serial[i], batch[i]) {
+			t.Fatalf("query %d: batch %v != serial %v", i, batch[i], serial[i])
+		}
+	}
+	if stats.Queries != len(queries) || stats.NodeAccesses == 0 {
+		t.Fatalf("stats not aggregated: %+v", stats)
+	}
+}
+
+// TestShardedMixedOpsStress runs concurrent writers and readers over a
+// ShardedTree (run with -race), then asserts every shard's invariants.
+func TestShardedMixedOpsStress(t *testing.T) {
+	st, err := NewShardedTree(4, Config{Dimensions: 2, ExactRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := int64(0); i < 200; i++ {
+		if err := st.Insert(i, UniformCircle(Pt(float64(i%20)*50, float64(i/20)*50), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int64(1000 + w*1000)
+			for i := 0; i < 40; i++ {
+				id := base + int64(i)
+				if err := st.Insert(id, UniformCircle(
+					Pt(rng.Float64()*1000, rng.Float64()*1000), 8)); err != nil {
+					errs <- fmt.Errorf("worker %d insert: %w", w, err)
+					return
+				}
+				if _, _, err := st.Search(Box(Pt(0, 0), Pt(500, 500)), 0.5); err != nil {
+					errs <- fmt.Errorf("worker %d search: %w", w, err)
+					return
+				}
+				if i%3 == 0 {
+					if err := st.Delete(id); err != nil {
+						errs <- fmt.Errorf("worker %d delete: %w", w, err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, _, err := st.NearestNeighbors(Pt(rng.Float64()*1000, rng.Float64()*1000), 3); err != nil {
+						errs <- fmt.Errorf("worker %d nn: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := 200 + workers*40 - workers*14 // 40 inserts, ⌈40/3⌉ = 14 deletes each
+	if got := st.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("shard invariants violated after stress: %v", err)
+	}
+}

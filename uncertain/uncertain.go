@@ -244,6 +244,9 @@ func (t *Tree) Height() int { return t.inner.Height() }
 // SizeBytes reports the total storage footprint (index + data pages).
 func (t *Tree) SizeBytes() int64 { return t.inner.SizeBytes() }
 
+// CacheStats reports the buffer pool's cumulative hit/miss counters.
+func (t *Tree) CacheStats() (hits, misses int64) { return t.inner.CacheStats() }
+
 // CheckInvariants validates the index structure (for tests and tooling).
 func (t *Tree) CheckInvariants() error { return t.inner.CheckInvariants() }
 
