@@ -296,6 +296,31 @@ func BenchmarkFig9SearchBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9SearchPrefetch sweeps the intra-query prefetch fan-out on
+// the same Fig. 9 workload (serial query loop, 2 ms simulated page
+// latency): one query overlaps up to N of its own page fetches — a
+// level's surviving children concurrently, refinement data pages behind
+// the integration — so queries/sec grows with the fan-out even though the
+// loop is strictly serial and the container has one core. prefetch=0 is
+// the serial baseline; the acceptance bar is ≥ 2× its queries/sec.
+func BenchmarkFig9SearchPrefetch(b *testing.B) {
+	for _, prefetch := range []int{0, 2, 4, 8} {
+		b.Run("prefetch="+itoa(prefetch), func(b *testing.B) {
+			ct, queries := parallelBenchFixture(b)
+			ct.SetPrefetchWorkers(prefetch)
+			defer ct.SetPrefetchWorkers(0) // shared fixture: restore serial
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, _, err := ct.Search(q.Rect, q.Prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
 // BenchmarkFig9SearchSharded sweeps the shard count on the same Fig. 9
 // workload (serial query loop, 2 ms simulated page latency): every query
 // scatter-gathers across the shards, overlapping its page stalls, so

@@ -10,14 +10,21 @@
 //	ubench -experiment ablations
 //	ubench -parallel -workers 8               # batch engine throughput sweep
 //	ubench -experiment sharded -shards 4      # scatter-gather vs single tree
+//	ubench -experiment pipeline -prefetch 8   # intra-query I/O pipelining sweep
+//	ubench -experiment pipeline -json out.json  # machine-readable results
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
-// sharded, all.
+// sharded, pipeline, all.
+//
+// -json writes the throughput experiments' structured rows (workload
+// params, q/s, merged query stats) to a file, so perf trajectories can be
+// recorded across revisions (BENCH_*.json).
 // At -scale 1 the datasets match the paper (53k/62k/100k objects); smaller
 // scales preserve the qualitative shapes at a fraction of the runtime.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +33,22 @@ import (
 
 	"repro/internal/experiments"
 )
+
+// jsonReport is the machine-readable output of -json: the workload
+// parameters plus the structured rows of every throughput experiment that
+// ran (each row carries q/s and the merged per-query stats).
+type jsonReport struct {
+	Experiment  string
+	Scale       float64
+	Queries     int
+	Seed        int64
+	IOLatencyMS float64
+	GOMAXPROCS  int
+
+	Parallel []experiments.ParallelRow `json:",omitempty"`
+	Sharded  []experiments.ShardedRow  `json:",omitempty"`
+	Pipeline []experiments.PipelineRow `json:",omitempty"`
+}
 
 func main() {
 	var (
@@ -36,8 +59,10 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		parallel = flag.Bool("parallel", false, "run the batch query engine throughput sweep (alias for -experiment parallel)")
 		workers  = flag.Int("workers", 2*runtime.GOMAXPROCS(0), "max worker fan-out for -parallel (sweeps 1,2,4,... up to this)")
-		iolatMS  = flag.Float64("iolat", 2, "simulated per-page storage latency for -parallel and -experiment sharded, milliseconds (0 disables; paper era model: 10)")
+		iolatMS  = flag.Float64("iolat", 2, "simulated per-page storage latency for -parallel, -experiment sharded and -experiment pipeline, milliseconds (0 disables; paper era model: 10)")
 		shards   = flag.Int("shards", 4, "max shard count for -experiment sharded (sweeps 1,2,4,... up to this)")
+		prefetch = flag.Int("prefetch", 8, "max intra-query prefetch fan-out for -experiment pipeline (sweeps 0,1,2,4,... up to this)")
+		jsonPath = flag.String("json", "", "write machine-readable results of the throughput experiments to this file")
 	)
 	flag.Parse()
 	if *parallel {
@@ -59,6 +84,10 @@ func main() {
 	}
 	if (*exp == "sharded" || *exp == "all") && *shards < 1 {
 		fmt.Fprintf(os.Stderr, "-shards must be ≥ 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if (*exp == "pipeline" || *exp == "all") && *prefetch < 0 {
+		fmt.Fprintf(os.Stderr, "-prefetch must be ≥ 0, got %d\n", *prefetch)
 		os.Exit(2)
 	}
 
@@ -83,6 +112,15 @@ func main() {
 
 	all := *exp == "all"
 	ran := false
+	eff := cfg.WithDefaults()
+	report := jsonReport{
+		Experiment:  *exp,
+		Scale:       eff.Scale,
+		Queries:     eff.Queries,
+		Seed:        eff.Seed,
+		IOLatencyMS: *iolatMS,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
 	if all || *exp == "fig7" {
 		run("fig7", func() error { _, err := experiments.Fig7(cfg, nil); return err })
 		ran = true
@@ -109,14 +147,24 @@ func main() {
 	}
 	if all || *exp == "parallel" {
 		run("parallel", func() error {
-			_, err := experiments.ParallelBatch(cfg, sweepUpTo(*workers))
+			rows, err := experiments.ParallelBatch(cfg, sweepUpTo(*workers))
+			report.Parallel = rows
 			return err
 		})
 		ran = true
 	}
 	if all || *exp == "sharded" {
 		run("sharded", func() error {
-			_, err := experiments.ShardedMixed(cfg, sweepUpTo(*shards))
+			rows, err := experiments.ShardedMixed(cfg, sweepUpTo(*shards))
+			report.Sharded = rows
+			return err
+		})
+		ran = true
+	}
+	if all || *exp == "pipeline" {
+		run("pipeline", func() error {
+			rows, err := experiments.PipelineSweep(cfg, append([]int{0}, sweepUpTo(*prefetch)...))
+			report.Pipeline = rows
 			return err
 		})
 		ran = true
@@ -133,6 +181,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "writing -json %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// writeJSON persists the structured report for the perf trajectory.
+func writeJSON(path string, report jsonReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // sweepUpTo builds the doubling sweep 1, 2, 4, … capped at max, always

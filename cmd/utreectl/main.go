@@ -11,6 +11,9 @@
 // (simulated per-page storage delay, milliseconds) to exercise the index
 // under the paper's disk-era cost model — e.g. `utreectl query -latency 10
 // -buffer 32 ...` reports wall times dominated by the charged page I/O.
+// -prefetch N arms intra-query I/O pipelining: up to N of one query's page
+// fetches proceed concurrently (results are identical; only wall time
+// changes), e.g. `utreectl query -latency 10 -prefetch 8 ...`.
 package main
 
 import (
@@ -33,29 +36,31 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		index   = fs.String("index", "", "index file path (required)")
-		ds      = fs.String("dataset", "LB", "dataset for build: LB|CA|Aircraft")
-		scale   = fs.Float64("scale", 0.05, "dataset scale for build")
-		rect    = fs.String("rect", "", "query rectangle lo1,lo2[,lo3],hi1,hi2[,hi3]")
-		prob    = fs.Float64("prob", 0.5, "query probability threshold")
-		point   = fs.String("point", "", "query point for nn: x1,x2[,x3]")
-		k       = fs.Int("k", 5, "neighbor count for nn")
-		upcr    = fs.Bool("upcr", false, "build the U-PCR variant instead")
-		buffer  = fs.Int("buffer", 0, "buffer pool size in pages (0 = default 256)")
-		latency = fs.Float64("latency", 0, "simulated per-page storage latency, milliseconds (0 disables; paper era model: 10)")
+		index    = fs.String("index", "", "index file path (required)")
+		ds       = fs.String("dataset", "LB", "dataset for build: LB|CA|Aircraft")
+		scale    = fs.Float64("scale", 0.05, "dataset scale for build")
+		rect     = fs.String("rect", "", "query rectangle lo1,lo2[,lo3],hi1,hi2[,hi3]")
+		prob     = fs.Float64("prob", 0.5, "query probability threshold")
+		point    = fs.String("point", "", "query point for nn: x1,x2[,x3]")
+		k        = fs.Int("k", 5, "neighbor count for nn")
+		upcr     = fs.Bool("upcr", false, "build the U-PCR variant instead")
+		buffer   = fs.Int("buffer", 0, "buffer pool size in pages (0 = default 256)")
+		latency  = fs.Float64("latency", 0, "simulated per-page storage latency, milliseconds (0 disables; paper era model: 10)")
+		prefetch = fs.Int("prefetch", 0, "intra-query prefetch fan-out: concurrent page fetches one query may have in flight (0 disables)")
 	)
 	fs.Parse(os.Args[2:])
 	if *index == "" {
 		fmt.Fprintln(os.Stderr, "missing -index")
 		usage()
 	}
-	if *buffer < 0 || *latency < 0 {
-		fmt.Fprintln(os.Stderr, "-buffer and -latency must be ≥ 0")
+	if *buffer < 0 || *latency < 0 || *prefetch < 0 {
+		fmt.Fprintln(os.Stderr, "-buffer, -latency and -prefetch must be ≥ 0")
 		usage()
 	}
 	cfg := uncertain.Config{
 		BufferPages:          *buffer,
 		SimulatedPageLatency: time.Duration(*latency * float64(time.Millisecond)),
+		PrefetchWorkers:      *prefetch,
 	}
 
 	var err error
@@ -177,6 +182,10 @@ func query(path, rectSpec string, prob float64, cfg uncertain.Config) error {
 	fmt.Printf("%d results in %v (node accesses %d, prob computations %d, validated %d, refinement IOs %d)\n",
 		len(results), time.Since(start).Round(time.Microsecond),
 		s.NodeAccesses, s.ProbComputations, s.Validated, s.RefinementIOs)
+	if s.PrefetchIssued > 0 {
+		fmt.Printf("prefetch: %d issued, %d coalesced, %d wasted\n",
+			s.PrefetchIssued, s.PrefetchCoalesced, s.PrefetchWasted)
+	}
 	for i, r := range results {
 		if i == 20 {
 			fmt.Printf("  … %d more\n", len(results)-20)

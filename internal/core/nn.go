@@ -38,6 +38,13 @@ type NNStats struct {
 	NodeAccesses  int
 	DistanceComps int // expected-distance evaluations (the expensive step)
 	RefinementIOs int
+
+	// Intra-query prefetch counters (zero when prefetching is off); NN
+	// prefetch is speculative — it guesses from the frontier heap — so
+	// PrefetchWasted is normally nonzero here, unlike range queries.
+	PrefetchIssued    int
+	PrefetchCoalesced int
+	PrefetchWasted    int
 }
 
 // Add accumulates o into s — the NN counterpart of QueryStats.Add, shared
@@ -46,6 +53,9 @@ func (s *NNStats) Add(o NNStats) {
 	s.NodeAccesses += o.NodeAccesses
 	s.DistanceComps += o.DistanceComps
 	s.RefinementIOs += o.RefinementIOs
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchCoalesced += o.PrefetchCoalesced
+	s.PrefetchWasted += o.PrefetchWasted
 }
 
 // nnItem is a priority-queue element: either a tree node or a leaf object
@@ -77,18 +87,26 @@ func (t *Tree) NearestNeighborsRO(q geom.Point, k int) ([]NNResult, NNStats, err
 
 // NearestNeighbors returns the k objects with the smallest expected
 // distance to the query point q, in ascending order.
-func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error) {
-	var stats NNStats
+//
+// With intra-query prefetching armed, the traversal speculatively
+// prefetches the pages behind the most promising frontier heap entries
+// while the current item's page read and (CPU-heavy) expected-distance
+// integration run — the best-first pop order, the refinement order, and
+// the per-object sampler seeding are untouched, so results are
+// byte-identical to the serial traversal.
+func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNStats, err error) {
 	if len(q) != t.dim {
 		return nil, stats, fmt.Errorf("core: query point dim %d, tree dim %d", len(q), t.dim)
 	}
 	if k < 1 {
 		return nil, stats, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	ses := t.openSessions()
+	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
+
 	pq := &nnHeap{{lb: 0, isNode: true, page: t.rootPage}}
 	heap.Init(pq)
 
-	var best []NNResult // sorted ascending by ExpectedDist, ≤ k entries
 	worst := math.Inf(1)
 
 	for pq.Len() > 0 {
@@ -96,8 +114,11 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error
 		if len(best) == k && it.lb >= worst {
 			break // every remaining item is at least as far
 		}
+		if ses.nodes != nil {
+			speculateNN(pq, ses, len(best) == k, worst)
+		}
 		if it.isNode {
-			n, err := t.readNode(it.page)
+			n, err := t.readNodeVia(ses.nodes, it.page)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -122,8 +143,14 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error
 			}
 			continue
 		}
-		// Leaf object: refine its expected distance.
-		rec, err := t.data.Read(it.addr)
+		// Leaf object: refine its expected distance (DataFile.Read is
+		// exactly this page-read + slot-extract, so serial behavior is
+		// unchanged).
+		pageBuf, err := t.readDataPageVia(ses.data, it.addr.Page)
+		if err != nil {
+			return nil, stats, err
+		}
+		rec, err := pagefile.RecordFromPage(pageBuf, it.addr.Slot)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -143,6 +170,35 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error
 		}
 	}
 	return best, stats, nil
+}
+
+// speculateDepth is how many frontier heap entries NN prefetch looks at
+// per pop. The heap slice's prefix holds its smallest elements in rough
+// order — good enough for speculation, which only affects timing, never
+// results.
+const speculateDepth = 4
+
+// speculateNN prefetches the pages behind the heap's most promising
+// entries: child pages of frontier nodes through the buffer pool, data
+// pages of frontier objects through the raw store. Entries already beyond
+// the current k-th best distance are skipped — they can never be popped
+// for processing.
+func speculateNN(pq *nnHeap, ses querySessions, full bool, worst float64) {
+	depth := speculateDepth
+	if depth > pq.Len() {
+		depth = pq.Len()
+	}
+	for i := 0; i < depth; i++ {
+		it := (*pq)[i]
+		if full && it.lb >= worst {
+			continue
+		}
+		if it.isNode {
+			ses.nodes.Prefetch(it.page)
+		} else {
+			ses.data.Prefetch(it.addr.Page)
+		}
+	}
 }
 
 // insertNN inserts r into the ascending top-k list.

@@ -81,6 +81,7 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 		exact:   opt.ExactRefinement,
 	}
 	t.seed = seed
+	t.SetPrefetchWorkers(opt.PrefetchWorkers)
 	t.pool = pagefile.NewBufferPool(store, bufPages)
 	t.leafCap, t.innerCap = capacities(kind, dim, m)
 	t.leafEntrySize, t.innerEntrySize = entrySizes(kind, dim, m)

@@ -46,6 +46,13 @@ type QueryStats struct {
 	Results          int
 	FilterTime       time.Duration
 	RefineTime       time.Duration
+
+	// Intra-query prefetch counters (all zero when prefetching is off):
+	// async page reads issued, requests coalesced onto an in-flight fetch,
+	// and issued reads that were never consumed (speculation waste).
+	PrefetchIssued    int
+	PrefetchCoalesced int
+	PrefetchWasted    int
 }
 
 // Add accumulates o into s, field by field. It is the single merge point
@@ -62,6 +69,9 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.Results += o.Results
 	s.FilterTime += o.FilterTime
 	s.RefineTime += o.RefineTime
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchCoalesced += o.PrefetchCoalesced
+	s.PrefetchWasted += o.PrefetchWasted
 }
 
 // RangeQuery executes a prob-range query (Section 5.2): Observation 4
@@ -104,12 +114,85 @@ func (t *Tree) roSeed(q Query) int64 {
 	return int64(h)
 }
 
-func (t *Tree) rangeQuery(q Query, rng *rand.Rand) ([]Result, QueryStats, error) {
-	var stats QueryStats
+// querySessions is the per-query prefetch state: one session over the
+// buffer pool (tree pages; a prefetch warms the cache the claim then reads)
+// and one over the raw store (data pages, which bypass the pool). Both are
+// nil when the tree has no prefetcher — the serial cost-model path.
+type querySessions struct {
+	nodes *pagefile.PrefetchSession
+	data  *pagefile.PrefetchSession
+}
+
+// open creates the sessions when the tree has a prefetcher armed.
+func (t *Tree) openSessions() querySessions {
+	if t.prefetch == nil {
+		return querySessions{}
+	}
+	return querySessions{
+		nodes: t.prefetch.NewSession(t.pool),
+		data:  t.prefetch.NewSession(pagefile.AsGetter(t.store)),
+	}
+}
+
+// drainInto waits out any in-flight fetches (mandatory: fetch goroutines
+// must not outlive the query's lock window) and records the prefetch
+// counters into stats.
+func (qs querySessions) drainInto(issued, coalesced, wasted *int) {
+	if qs.nodes == nil {
+		return
+	}
+	var st pagefile.PrefetchStats
+	st.Add(qs.nodes.Drain())
+	st.Add(qs.data.Drain())
+	*issued += st.Issued
+	*coalesced += st.Coalesced
+	*wasted += st.Wasted
+}
+
+// readNodeVia reads a tree page through the prefetch session when one is
+// active (claiming the async fetch), else synchronously — both paths count
+// one logical node read.
+func (t *Tree) readNodeVia(ses *pagefile.PrefetchSession, id pagefile.PageID) (*node, error) {
+	if ses == nil {
+		return t.readNode(id)
+	}
+	t.nodeReads.Add(1)
+	buf, err := ses.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading node %d: %w", id, err)
+	}
+	return t.decodeNode(id, buf)
+}
+
+// readDataPageVia reads a data page through the session when active, else
+// directly from the data file.
+func (t *Tree) readDataPageVia(ses *pagefile.PrefetchSession, id pagefile.PageID) ([]byte, error) {
+	if ses == nil {
+		return t.data.ReadPage(id)
+	}
+	return ses.Get(id)
+}
+
+// rangeQuery is the shared implementation of RangeQuery and RangeQueryRO:
+// a level-batched descent (Observation 4 pruning), Observation 3/2
+// filtering at the leaves, then refinement of the surviving candidates.
+//
+// The descent processes one level's surviving nodes per round, in
+// discovery order. With prefetching armed, a round's pages are fetched
+// concurrently (bounded in flight) and the refinement data pages are
+// prefetched while earlier candidates integrate — but nodes are still
+// *processed* in the identical deterministic order, candidates are still
+// refined in (page, slot) order, and the refinement sampler is still
+// consumed serially, so the pipelined path returns byte-identical results
+// and logical counters to the serial one; only wall-clock changes.
+func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats QueryStats, err error) {
 	if err := validateQuery(t.dim, q); err != nil {
 		return nil, stats, err
 	}
 	start := time.Now()
+
+	ses := t.openSessions()
+	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
 
 	// p_j for Observation 4: largest catalog value ≤ p_q (always exists
 	// since p_1 = 0).
@@ -119,45 +202,49 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) ([]Result, QueryStats, error)
 		id   int64
 		addr pagefile.DataAddr
 	}
-	var results []Result
 	var cands []candidate
 
-	stack := []pagefile.PageID{t.rootPage}
-	for len(stack) > 0 {
-		page := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n, err := t.readNode(page)
-		if err != nil {
-			return nil, stats, err
+	frontier := []pagefile.PageID{t.rootPage}
+	for len(frontier) > 0 {
+		if ses.nodes != nil && len(frontier) > 1 {
+			ses.nodes.Prefetch(frontier...)
 		}
-		stats.NodeAccesses++
-		if !n.leaf() {
+		var next []pagefile.PageID
+		for _, page := range frontier {
+			n, err := t.readNodeVia(ses.nodes, page)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.NodeAccesses++
+			if !n.leaf() {
+				for i := range n.entries {
+					// Observation 4: the subtree cannot contain results if rq
+					// misses e.MBR(p_j).
+					if q.Rect.Intersects(t.boxAt(n.entries[i].boxes, jDescend)) {
+						next = append(next, n.entries[i].child)
+					}
+				}
+				continue
+			}
+			stats.LeafAccesses++
 			for i := range n.entries {
-				// Observation 4: the subtree cannot contain results if rq
-				// misses e.MBR(p_j).
-				if q.Rect.Intersects(t.boxAt(n.entries[i].boxes, jDescend)) {
-					stack = append(stack, n.entries[i].child)
+				e := &n.entries[i]
+				var outcome pcr.Outcome
+				if t.kind == UTree {
+					outcome = pcr.FilterCFB(e.out, e.in, t.cat, e.mbr, q.Rect, q.Prob)
+				} else {
+					outcome = pcr.FilterCatalogPCR(pcr.PCRs{Cat: t.cat, Boxes: e.pcrs}, e.mbr, q.Rect, q.Prob)
+				}
+				switch outcome {
+				case pcr.Validated:
+					results = append(results, Result{ID: e.id, Prob: -1, Validated: true})
+					stats.Validated++
+				case pcr.Unknown:
+					cands = append(cands, candidate{e.id, e.addr})
 				}
 			}
-			continue
 		}
-		stats.LeafAccesses++
-		for i := range n.entries {
-			e := &n.entries[i]
-			var outcome pcr.Outcome
-			if t.kind == UTree {
-				outcome = pcr.FilterCFB(e.out, e.in, t.cat, e.mbr, q.Rect, q.Prob)
-			} else {
-				outcome = pcr.FilterCatalogPCR(pcr.PCRs{Cat: t.cat, Boxes: e.pcrs}, e.mbr, q.Rect, q.Prob)
-			}
-			switch outcome {
-			case pcr.Validated:
-				results = append(results, Result{ID: e.id, Prob: -1, Validated: true})
-				stats.Validated++
-			case pcr.Unknown:
-				cands = append(cands, candidate{e.id, e.addr})
-			}
-		}
+		frontier = next
 	}
 	stats.Candidates = len(cands)
 	stats.FilterTime = time.Since(start)
@@ -170,12 +257,25 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) ([]Result, QueryStats, error)
 		}
 		return cands[a].addr.Slot < cands[b].addr.Slot
 	})
+	if ses.data != nil {
+		// Overlap the data-page reads with the (CPU-heavy) integration of
+		// earlier candidates: schedule every distinct page up front.
+		var pages []pagefile.PageID
+		last := pagefile.InvalidPage
+		for _, c := range cands {
+			if c.addr.Page != last {
+				pages = append(pages, c.addr.Page)
+				last = c.addr.Page
+			}
+		}
+		ses.data.Prefetch(pages...)
+	}
 	var pageBuf []byte
 	var pageID pagefile.PageID = pagefile.InvalidPage
 	for _, c := range cands {
 		if c.addr.Page != pageID {
 			var err error
-			pageBuf, err = t.data.ReadPage(c.addr.Page)
+			pageBuf, err = t.readDataPageVia(ses.data, c.addr.Page)
 			if err != nil {
 				return nil, stats, err
 			}

@@ -38,6 +38,13 @@ type Options struct {
 	SplitStrategy SplitStrategy
 	// DisableReinsert turns off R* forced reinsertion (ablation knob).
 	DisableReinsert bool
+	// PrefetchWorkers bounds the async page fetches one query may have in
+	// flight: the query hot paths overlap the independent page reads a
+	// traversal already knows it needs (sibling children, refinement data
+	// pages, speculative NN heap entries). 0 disables intra-query
+	// prefetching — every page read is a sequential stall, as in the
+	// paper's serial cost model. Results are byte-identical either way.
+	PrefetchWorkers int
 }
 
 // SplitStrategy selects the rectangles fed to the R* split during overflow
@@ -88,6 +95,11 @@ type Tree struct {
 
 	splitStrategy   SplitStrategy
 	disableReinsert bool
+
+	// prefetch pipelines one query's independent page reads; nil when
+	// intra-query prefetching is disabled. Guarded by the same exclusion as
+	// the rest of the tree: SetPrefetchWorkers is a writer-side operation.
+	prefetch *pagefile.Prefetcher
 
 	// Logical I/O counters (reset via ResetCounters). Atomic so the
 	// read-only query path can run under a shared lock.
@@ -153,6 +165,7 @@ func New(opt Options) (*Tree, error) {
 		disableReinsert: opt.DisableReinsert,
 	}
 	t.seed = seed
+	t.SetPrefetchWorkers(opt.PrefetchWorkers)
 	t.pool = pagefile.NewBufferPool(store, bufPages)
 	t.data = pagefile.NewDataFile(store)
 	t.leafCap, t.innerCap = capacities(t.kind, t.dim, m)
@@ -240,6 +253,26 @@ func (t *Tree) NodeIO() (reads, writes int64) {
 // CacheStats reports the buffer pool's hit/miss counters, for throughput
 // reporting in batch query stats.
 func (t *Tree) CacheStats() (hits, misses int64) { return t.pool.HitRate() }
+
+// SetPrefetchWorkers re-arms the intra-query prefetch fan-out (0 disables).
+// Like the tree's other mutators it must not run concurrently with queries;
+// ConcurrentTree serializes it behind the writer lock.
+func (t *Tree) SetPrefetchWorkers(n int) {
+	if n <= 0 {
+		t.prefetch = nil
+		return
+	}
+	t.prefetch = pagefile.NewPrefetcher(n)
+}
+
+// PrefetchWorkers reports the configured intra-query prefetch fan-out (0
+// when disabled).
+func (t *Tree) PrefetchWorkers() int {
+	if t.prefetch == nil {
+		return 0
+	}
+	return t.prefetch.Workers()
+}
 
 // Flush writes all buffered pages through to the store.
 func (t *Tree) Flush() error { return t.pool.Flush() }

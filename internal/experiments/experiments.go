@@ -52,6 +52,11 @@ type Config struct {
 	Out io.Writer
 }
 
+// WithDefaults returns c with unset fields filled in with the experiment
+// defaults — what an experiment actually runs with (e.g. for reporting the
+// effective workload parameters).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Scale <= 0 {
 		c.Scale = 0.02

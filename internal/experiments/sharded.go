@@ -241,17 +241,19 @@ func runMixedRow(k int, cfg Config, idx uncertain.Index, queries []uncertain.Ran
 }
 
 // compareToBaseline demands exact equality — IDs, probabilities, validated
-// flags — between the sharded results and the single-tree baseline.
-func compareToBaseline(baseline, got [][]uncertain.Result, k int) error {
+// flags — between a configuration's results and the baseline
+// configuration's (value is the configuration knob, for the error text:
+// shard count, prefetch fan-out).
+func compareToBaseline(baseline, got [][]uncertain.Result, value int) error {
 	for i := range baseline {
 		if len(baseline[i]) != len(got[i]) {
-			return fmt.Errorf("query %d at %d shards: %d results, single tree %d",
-				i, k, len(got[i]), len(baseline[i]))
+			return fmt.Errorf("query %d at setting %d: %d results, baseline %d",
+				i, value, len(got[i]), len(baseline[i]))
 		}
 		for j := range baseline[i] {
 			if baseline[i][j] != got[i][j] {
-				return fmt.Errorf("query %d result %d at %d shards: %+v, single tree %+v",
-					i, j, k, got[i][j], baseline[i][j])
+				return fmt.Errorf("query %d result %d at setting %d: %+v, baseline %+v",
+					i, j, value, got[i][j], baseline[i][j])
 			}
 		}
 	}

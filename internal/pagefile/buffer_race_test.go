@@ -4,7 +4,60 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
+
+// TestBufferPoolSingleFlight is the dedicated regression test for the
+// pool's single-flight read path: many goroutines missing on the same cold
+// page at once must coalesce into exactly one inner-store read, not a
+// thundering herd. The slow store holds the first read open long enough
+// that every contender arrives while it is still in flight. Run with -race.
+func TestBufferPoolSingleFlight(t *testing.T) {
+	ms := NewMemStore()
+	id, err := ms.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, PageSize)
+	want[0] = 0xAB
+	if err := ms.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	ms.Stats().Reset()
+	slow := NewLatencyStore(ms, 20*time.Millisecond, 0)
+
+	bp := NewBufferPool(slow, 8)
+	const contenders = 32
+	var (
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			got, err := bp.Get(id)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			if got[0] != 0xAB {
+				t.Errorf("Get returned byte %#x, want 0xAB", got[0])
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if reads, _, _, _ := ms.Stats().Snapshot(); reads != 1 {
+		t.Fatalf("%d inner-store reads for one page, want 1 (single-flight broken)", reads)
+	}
+	hits, misses := bp.HitRate()
+	if hits+misses != contenders {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, contenders)
+	}
+}
 
 // TestBufferPoolConcurrentGet hammers Get from many goroutines over a
 // working set larger than the pool, so hits, misses, evictions and the

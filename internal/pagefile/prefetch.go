@@ -1,0 +1,210 @@
+package pagefile
+
+import "sync"
+
+// This file is the intra-query I/O pipelining layer: an asynchronous page
+// prefetcher that lets one traversal overlap the independent page fetches
+// it already knows it will need (all surviving children of a node, all
+// refinement data pages of a candidate set, the pages behind the next few
+// NN heap entries). On latency-bound storage — the paper's cost model
+// charges a disk latency per page access — a serial query pays every fetch
+// as a sequential stall; issuing them concurrently caps the stall at
+// roughly ceil(pages / workers) latencies instead of pages latencies,
+// without changing which pages are read or the order results are produced.
+
+// Getter is the read side of a page source. *BufferPool satisfies it
+// directly (prefetching through the pool warms the cache for the eventual
+// claim); AsGetter adapts any raw Store.
+type Getter interface {
+	Get(id PageID) ([]byte, error)
+}
+
+// storeGetter adapts a Store to Getter with a fresh buffer per read.
+type storeGetter struct{ s Store }
+
+func (g storeGetter) Get(id PageID) ([]byte, error) {
+	buf := make([]byte, PageSize)
+	if err := g.s.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AsGetter wraps a raw Store as a Getter, so the prefetcher can pipeline
+// reads that bypass the buffer pool (e.g. data-file pages).
+func AsGetter(s Store) Getter { return storeGetter{s} }
+
+// PrefetchStats counts a session's prefetch work.
+type PrefetchStats struct {
+	// Issued is the number of async reads actually started.
+	Issued int
+	// Coalesced is the number of Prefetch requests that found the page
+	// already in flight and joined it instead of issuing a second read.
+	Coalesced int
+	// Wasted is the number of issued reads that completed without any Get
+	// ever claiming them — speculation that didn't pay off (counted at
+	// Drain).
+	Wasted int
+}
+
+// Add accumulates o into s (the merge rule for stats aggregation).
+func (s *PrefetchStats) Add(o PrefetchStats) {
+	s.Issued += o.Issued
+	s.Coalesced += o.Coalesced
+	s.Wasted += o.Wasted
+}
+
+// Prefetcher bounds the async page reads in flight at any moment. One
+// Prefetcher is shared by all queries on an index so the bound is global;
+// each query opens its own PrefetchSession, so sessions never contend on
+// a shared result map (cross-query dedup of pool-backed pages already
+// happens inside BufferPool's single-flight Get).
+type Prefetcher struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewPrefetcher creates a prefetcher allowing up to workers concurrent
+// in-flight reads (minimum 1).
+func NewPrefetcher(workers int) *Prefetcher {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Prefetcher{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers reports the in-flight bound.
+func (p *Prefetcher) Workers() int { return p.workers }
+
+// NewSession opens a prefetch session over src. A session belongs to one
+// query: exactly one goroutine issues Prefetch/Get/ReadBatch calls, while
+// the session's own fetch goroutines run concurrently under the shared
+// in-flight bound. Call Drain before abandoning the session.
+func (p *Prefetcher) NewSession(src Getter) *PrefetchSession {
+	return &PrefetchSession{pf: p, src: src, inflight: make(map[PageID]*pageFetch)}
+}
+
+// pageFetch is one async read; done is closed once data/err are set.
+type pageFetch struct {
+	id   PageID
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// PrefetchSession tracks one query's in-flight prefetches with
+// single-flight dedup: a page is fetched at most once while unclaimed.
+type PrefetchSession struct {
+	pf  *Prefetcher
+	src Getter
+
+	mu       sync.Mutex
+	inflight map[PageID]*pageFetch
+	queue    []*pageFetch // scheduled, not yet picked up by a drainer
+	drainers int          // fetch goroutines alive, ≤ pf.workers
+	wg       sync.WaitGroup
+	stats    PrefetchStats
+}
+
+// Prefetch schedules async reads for ids. It never blocks on I/O: requests
+// are queued and drained FIFO by at most the prefetcher's worker count of
+// fetch goroutines (so a query prefetching hundreds of refinement pages
+// costs `workers` goroutines, not hundreds). Pages already scheduled and
+// not yet claimed are coalesced.
+func (s *PrefetchSession) Prefetch(ids ...PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if _, ok := s.inflight[id]; ok {
+			s.stats.Coalesced++
+			continue
+		}
+		f := &pageFetch{id: id, done: make(chan struct{})}
+		s.inflight[id] = f
+		s.queue = append(s.queue, f)
+		s.stats.Issued++
+		if s.drainers < s.pf.workers {
+			s.drainers++
+			s.wg.Add(1)
+			go s.drain()
+		}
+	}
+}
+
+// drain pops scheduled fetches until the queue is empty. Each read holds
+// one slot of the prefetcher's shared in-flight bound, so concurrent
+// sessions on one index still respect the global limit.
+func (s *PrefetchSession) drain() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.drainers--
+			s.mu.Unlock()
+			return
+		}
+		f := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		s.pf.sem <- struct{}{}
+		f.data, f.err = s.src.Get(f.id)
+		<-s.pf.sem
+		close(f.done)
+	}
+}
+
+// Get returns the page contents, claiming the in-flight fetch when one
+// exists (waiting for it to land) and falling back to a direct synchronous
+// read otherwise. A claimed page leaves the dedup map, so a later Prefetch
+// of the same id issues a fresh read — mirroring the serial path's I/O
+// counting.
+func (s *PrefetchSession) Get(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	f, ok := s.inflight[id]
+	if ok {
+		delete(s.inflight, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return s.src.Get(id)
+	}
+	<-f.done
+	return f.data, f.err
+}
+
+// ReadBatch is the whole-batch convenience over Prefetch+Get: fetch ids
+// concurrently (bounded by the prefetcher's worker count) and return their
+// contents in input order. Callers that can do useful work between claims
+// — like the query descent, which filters each node while its siblings
+// are still in flight — should call Prefetch once and Get per page
+// instead. The first error is returned; the remaining fetches still land
+// and are reclaimed by Drain.
+func (s *PrefetchSession) ReadBatch(ids []PageID) ([][]byte, error) {
+	s.Prefetch(ids...)
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		data, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// Drain waits for every in-flight fetch to land and returns the session's
+// stats, counting never-claimed fetches as wasted. It must be called
+// before the query returns — fetch goroutines touch the underlying pool
+// and store, and e.g. ConcurrentTree's read lock is only held for the
+// query's duration. The session must not be used after Drain.
+func (s *PrefetchSession) Drain() PrefetchStats {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Wasted += len(s.inflight)
+	for id := range s.inflight {
+		delete(s.inflight, id)
+	}
+	return s.stats
+}

@@ -1,0 +1,156 @@
+package pagefile
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trackingStore wraps MemStore and records the concurrent-read high-water
+// mark, so tests can assert the prefetcher's in-flight bound.
+type trackingStore struct {
+	*MemStore
+	delay    time.Duration
+	inFlight atomic.Int64
+	highMark atomic.Int64
+}
+
+func (ts *trackingStore) Read(id PageID, buf []byte) error {
+	cur := ts.inFlight.Add(1)
+	for {
+		hi := ts.highMark.Load()
+		if cur <= hi || ts.highMark.CompareAndSwap(hi, cur) {
+			break
+		}
+	}
+	if ts.delay > 0 {
+		time.Sleep(ts.delay)
+	}
+	err := ts.MemStore.Read(id, buf)
+	ts.inFlight.Add(-1)
+	return err
+}
+
+func newTrackingStore(t *testing.T, pages int, delay time.Duration) (*trackingStore, []PageID) {
+	t.Helper()
+	ts := &trackingStore{MemStore: NewMemStore(), delay: delay}
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := ts.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, PageSize)
+		buf[0] = byte(id)
+		if err := ts.MemStore.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ts, ids
+}
+
+func TestPrefetchReadBatchOrderAndContents(t *testing.T) {
+	ts, ids := newTrackingStore(t, 32, 0)
+	ses := NewPrefetcher(4).NewSession(AsGetter(ts))
+	pages, err := ses.ReadBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != len(ids) {
+		t.Fatalf("got %d pages, want %d", len(pages), len(ids))
+	}
+	for i, p := range pages {
+		if p[0] != byte(ids[i]) {
+			t.Fatalf("page %d: stamped %d, want %d", i, p[0], byte(ids[i]))
+		}
+	}
+	st := ses.Drain()
+	if st.Issued != len(ids) || st.Wasted != 0 {
+		t.Fatalf("stats = %+v, want issued=%d wasted=0", st, len(ids))
+	}
+}
+
+func TestPrefetchBoundsInFlight(t *testing.T) {
+	const workers = 3
+	ts, ids := newTrackingStore(t, 24, 2*time.Millisecond)
+	ses := NewPrefetcher(workers).NewSession(AsGetter(ts))
+	if _, err := ses.ReadBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	ses.Drain()
+	if hi := ts.highMark.Load(); hi > workers {
+		t.Fatalf("observed %d concurrent reads, bound is %d", hi, workers)
+	}
+	if hi := ts.highMark.Load(); hi < 2 {
+		t.Fatalf("observed %d concurrent reads: prefetches did not overlap", hi)
+	}
+}
+
+func TestPrefetchDedupAndWaste(t *testing.T) {
+	ts, ids := newTrackingStore(t, 8, time.Millisecond)
+	ses := NewPrefetcher(2).NewSession(AsGetter(ts))
+
+	// Double-prefetch the same pages: the second round must coalesce.
+	ses.Prefetch(ids[:4]...)
+	ses.Prefetch(ids[:4]...)
+	// Claim two; the two never-claimed fetches count as wasted.
+	for _, id := range ids[:2] {
+		if p, err := ses.Get(id); err != nil || p[0] != byte(id) {
+			t.Fatalf("Get(%d) = %v, %v", id, p, err)
+		}
+	}
+	st := ses.Drain()
+	if st.Issued != 4 || st.Coalesced != 4 || st.Wasted != 2 {
+		t.Fatalf("stats = %+v, want issued=4 coalesced=4 wasted=2", st)
+	}
+	physReads, _, _, _ := ts.Stats().Snapshot()
+	if physReads != 4 {
+		t.Fatalf("%d physical reads, want 4 (dedup failed)", physReads)
+	}
+}
+
+func TestPrefetchGetWithoutPrefetchReadsDirectly(t *testing.T) {
+	ts, ids := newTrackingStore(t, 2, 0)
+	ses := NewPrefetcher(2).NewSession(AsGetter(ts))
+	p, err := ses.Get(ids[1])
+	if err != nil || p[0] != byte(ids[1]) {
+		t.Fatalf("Get = %v, %v", p, err)
+	}
+	st := ses.Drain()
+	if st.Issued != 0 || st.Wasted != 0 {
+		t.Fatalf("direct Get must not touch prefetch stats, got %+v", st)
+	}
+}
+
+// TestPrefetchConcurrentSessions hammers many sessions over one shared
+// Prefetcher (the per-index sharing pattern) under -race.
+func TestPrefetchConcurrentSessions(t *testing.T) {
+	ts, ids := newTrackingStore(t, 64, 100*time.Microsecond)
+	pf := NewPrefetcher(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ses := pf.NewSession(AsGetter(ts))
+			defer ses.Drain()
+			for i := 0; i < 20; i++ {
+				id := ids[(w*7+i*3)%len(ids)]
+				ses.Prefetch(id)
+				p, err := ses.Get(id)
+				if err != nil || p[0] != byte(id) {
+					t.Errorf("worker %d: Get(%d) = %v, %v", w, id, p, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if hi := ts.highMark.Load(); hi > 4+8 {
+		// Each session may also issue direct Gets outside the bound; only
+		// prefetched reads are bounded, so allow workers + sessions.
+		t.Fatalf("observed %d concurrent reads", hi)
+	}
+}

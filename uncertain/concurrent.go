@@ -79,6 +79,14 @@ func (c *ConcurrentTree) SetSimulatedPageLatency(d time.Duration) {
 	c.tree.SetSimulatedPageLatency(d)
 }
 
+// SetPrefetchWorkers re-arms the intra-query prefetch fan-out (exclusive
+// lock: in-flight queries finish on the old setting before it swaps).
+func (c *ConcurrentTree) SetPrefetchWorkers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tree.SetPrefetchWorkers(n)
+}
+
 // Flush writes buffered dirty pages through to the store (exclusive lock;
 // see Tree.Flush for why this helps before read-heavy phases).
 func (c *ConcurrentTree) Flush() error {

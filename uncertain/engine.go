@@ -3,6 +3,7 @@ package uncertain
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,21 @@ type BatchStats struct {
 	CacheHits    int64
 	CacheMisses  int64
 	CacheHitRate float64 // hits / (hits+misses); 0 when the window had no pool I/O
+
+	// Per-query wall-time latency distribution (nearest-rank percentiles
+	// over the batch). Latency is measured at the engine boundary — one
+	// timed unit per query — so a sharded index's scatter-gather counts as
+	// one query latency, and percentiles merge consistently whatever Index
+	// is underneath.
+	P50Latency time.Duration
+	P95Latency time.Duration
+	MaxLatency time.Duration
+
+	// Intra-query prefetch totals over the batch (zero when prefetching is
+	// off; see Config.PrefetchWorkers).
+	PrefetchIssued    int
+	PrefetchCoalesced int
+	PrefetchWasted    int
 }
 
 // EngineOptions configures a QueryEngine.
@@ -122,6 +138,9 @@ func (e *QueryEngine) SearchBatch(queries []RangeQuery) ([][]Result, BatchStats,
 	stats.ProbComputations = agg.ProbComputations
 	stats.Validated = agg.Validated
 	stats.Results = agg.Results
+	stats.PrefetchIssued = agg.PrefetchIssued
+	stats.PrefetchCoalesced = agg.PrefetchCoalesced
+	stats.PrefetchWasted = agg.PrefetchWasted
 	stats.finish()
 	return out, stats, nil
 }
@@ -148,6 +167,9 @@ func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, erro
 	}
 	stats.NodeAccesses = agg.NodeAccesses
 	stats.ProbComputations = agg.DistanceComps
+	stats.PrefetchIssued = agg.PrefetchIssued
+	stats.PrefetchCoalesced = agg.PrefetchCoalesced
+	stats.PrefetchWasted = agg.PrefetchWasted
 	for i := range out {
 		stats.Results += len(out[i])
 	}
@@ -155,7 +177,8 @@ func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, erro
 	return out, stats, nil
 }
 
-// run fans n tasks across the worker pool and times the batch. Workers pull
+// run fans n tasks across the worker pool and times the batch — both
+// end-to-end and per query, for the latency percentiles. Workers pull
 // indices from a shared counter; the first error latches, the workers exit,
 // and any unstarted tasks are abandoned.
 func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
@@ -166,6 +189,7 @@ func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
 	if workers > n {
 		workers = n
 	}
+	durations := make([]time.Duration, n)
 	var (
 		next     atomic.Int64
 		failed   atomic.Bool
@@ -182,7 +206,10 @@ func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
 				if i >= n {
 					return
 				}
-				if err := task(i); err != nil {
+				qStart := time.Now()
+				err := task(i)
+				durations[i] = time.Since(qStart)
+				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 					return
@@ -203,7 +230,29 @@ func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
 		CacheHits:   h1 - h0,
 		CacheMisses: m1 - m0,
 	}
+	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
+	stats.P50Latency = percentile(durations, 50)
+	stats.P95Latency = percentile(durations, 95)
+	if n > 0 {
+		stats.MaxLatency = durations[n-1]
+	}
 	return stats, nil
+}
+
+// percentile returns the nearest-rank p-th percentile of an ascending
+// latency list.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
 }
 
 // finish derives the per-query and rate metrics from the accumulated sums.

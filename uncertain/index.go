@@ -35,6 +35,10 @@ type Index interface {
 	// SetSimulatedPageLatency arms or disarms the simulated storage latency
 	// on every underlying store.
 	SetSimulatedPageLatency(d time.Duration)
+	// SetPrefetchWorkers re-arms the intra-query prefetch fan-out: how many
+	// async page fetches one query may have in flight (0 disables). Takes
+	// the writer lock(s), so in-flight queries finish first.
+	SetPrefetchWorkers(n int)
 	// Flush writes buffered dirty pages through to the store(s).
 	Flush() error
 	// CheckInvariants validates the index structure (every shard for

@@ -204,6 +204,15 @@ func (s *ShardedTree) SetSimulatedPageLatency(d time.Duration) {
 	}
 }
 
+// SetPrefetchWorkers re-arms the intra-query prefetch fan-out on every
+// shard. Note the bound is per shard: a scatter-gathered query may have up
+// to n×K fetches in flight across K shards.
+func (s *ShardedTree) SetPrefetchWorkers(n int) {
+	for _, sh := range s.shards {
+		sh.SetPrefetchWorkers(n)
+	}
+}
+
 // Flush writes every shard's buffered dirty pages through to its store.
 func (s *ShardedTree) Flush() error {
 	errs := make([]error, len(s.shards))

@@ -118,6 +118,15 @@ type Config struct {
 	// makes buffer-pool effectiveness and batch-query parallelism
 	// measurable on fast hardware. Zero (the default) disables it.
 	SimulatedPageLatency time.Duration
+	// PrefetchWorkers bounds the async page fetches a single query may
+	// have in flight: queries overlap the independent page reads a
+	// traversal already knows it needs (a level's surviving children, the
+	// refinement data pages, the pages behind the next NN heap entries).
+	// On latency-bound storage this pipelines one query's I/O stalls the
+	// way the batch engine overlaps stalls across queries. 0 (the default)
+	// disables intra-query prefetching. Results are byte-identical either
+	// way; see also SetPrefetchWorkers for re-arming at runtime.
+	PrefetchWorkers int
 }
 
 // Tree is a dynamic index over uncertain objects supporting probabilistic
@@ -139,6 +148,7 @@ func NewTree(cfg Config) (*Tree, error) {
 		ExactRefinement: cfg.ExactRefinement,
 		Seed:            cfg.Seed,
 		BufferPages:     cfg.BufferPages,
+		PrefetchWorkers: cfg.PrefetchWorkers,
 	}
 	if cfg.UPCR {
 		opt.Kind = core.UPCR
@@ -230,6 +240,13 @@ func (t *Tree) SetSimulatedPageLatency(d time.Duration) {
 	}
 }
 
+// SetPrefetchWorkers re-arms the intra-query prefetch fan-out at runtime
+// (0 disables): how many async page fetches one query may have in flight.
+// Like the tree's other mutators it must not run concurrently with
+// queries; ConcurrentTree and ShardedTree serialize it behind their writer
+// locks.
+func (t *Tree) SetPrefetchWorkers(n int) { t.inner.SetPrefetchWorkers(n) }
+
 // Flush writes every buffered dirty page through to the store. Useful
 // before a read-heavy phase: a clean pool evicts without write-backs, so
 // concurrent searches never stall on flushing another query's victim.
@@ -278,6 +295,7 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 		ExactRefinement: cfg.ExactRefinement,
 		Seed:            cfg.Seed,
 		BufferPages:     cfg.BufferPages,
+		PrefetchWorkers: cfg.PrefetchWorkers,
 	})
 	if err != nil {
 		fs.Close()
