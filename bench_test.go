@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -251,7 +252,7 @@ func parallelBenchFixture(b *testing.B) (*uncertain.ConcurrentTree, []uncertain.
 			parallelFixture.ct.SetSimulatedPageLatency(2_000_000) // 2ms in ns
 			// One warm pass so every benchmark starts from the same cache.
 			for _, q := range parallelFixture.queries {
-				if _, _, err := parallelFixture.ct.Search(q.Rect, q.Prob); err != nil {
+				if _, _, err := parallelFixture.ct.Search(context.Background(), q.Rect, q.Prob); err != nil {
 					parallelFixture.err = err
 					return
 				}
@@ -271,7 +272,7 @@ func BenchmarkFig9SearchSerial(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
-		if _, _, err := ct.Search(q.Rect, q.Prob); err != nil {
+		if _, _, err := ct.Search(context.Background(), q.Rect, q.Prob); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -287,7 +288,7 @@ func BenchmarkFig9SearchBatch(b *testing.B) {
 			eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: workers})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := eng.SearchBatch(queries); err != nil {
+				if _, _, err := eng.SearchBatch(context.Background(), queries); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -312,7 +313,7 @@ func BenchmarkFig9SearchPrefetch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				if _, _, err := ct.Search(q.Rect, q.Prob); err != nil {
+				if _, _, err := ct.Search(context.Background(), q.Rect, q.Prob); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -341,7 +342,7 @@ func BenchmarkFig9SearchSharded(b *testing.B) {
 			}
 			defer idx.Close()
 			for _, q := range queries { // warm the page cache
-				if _, _, err := idx.Search(q.Rect, q.Prob); err != nil {
+				if _, _, err := idx.Search(context.Background(), q.Rect, q.Prob); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -349,7 +350,7 @@ func BenchmarkFig9SearchSharded(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				if _, _, err := idx.Search(q.Rect, q.Prob); err != nil {
+				if _, _, err := idx.Search(context.Background(), q.Rect, q.Prob); err != nil {
 					b.Fatal(err)
 				}
 			}

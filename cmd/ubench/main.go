@@ -12,6 +12,8 @@
 //	ubench -experiment sharded -shards 4      # scatter-gather vs single tree
 //	ubench -experiment pipeline -prefetch 8   # intra-query I/O pipelining sweep
 //	ubench -experiment pipeline -json out.json  # machine-readable results
+//	ubench -parallel -query-timeout 5         # per-query deadlines; cancelled counts in -json rows
+//	ubench -parallel -limit 8 -page-budget 32 -mc-samples 500   # per-query option knobs
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
 // sharded, pipeline, all.
@@ -45,6 +47,13 @@ type jsonReport struct {
 	IOLatencyMS float64
 	GOMAXPROCS  int
 
+	// Per-query option knobs (0 = off), echoed so a row's cancelled /
+	// budget-exceeded counts can be interpreted.
+	QueryTimeoutMS float64 `json:",omitempty"`
+	QueryLimit     int     `json:",omitempty"`
+	PageBudget     int     `json:",omitempty"`
+	MCSamples      int     `json:",omitempty"`
+
 	Parallel []experiments.ParallelRow `json:",omitempty"`
 	Sharded  []experiments.ShardedRow  `json:",omitempty"`
 	Pipeline []experiments.PipelineRow `json:",omitempty"`
@@ -63,6 +72,13 @@ func main() {
 		shards   = flag.Int("shards", 4, "max shard count for -experiment sharded (sweeps 1,2,4,... up to this)")
 		prefetch = flag.Int("prefetch", 8, "max intra-query prefetch fan-out for -experiment pipeline (sweeps 0,1,2,4,... up to this)")
 		jsonPath = flag.String("json", "", "write machine-readable results of the throughput experiments to this file")
+
+		// Per-query options of the context-first query API, applied to the
+		// -experiment parallel measured batches (0 disables each).
+		queryTimeoutMS = flag.Float64("query-timeout", 0, "per-query wall-time deadline for -experiment parallel, milliseconds; timed-out queries are counted as cancelled in the JSON rows")
+		queryLimit     = flag.Int("limit", 0, "per-query top-N result cut (WithLimit) for -experiment parallel")
+		pageBudget     = flag.Int("page-budget", 0, "per-query physical page-fetch budget (WithPageBudget) for -experiment parallel; exhausted queries are counted in the JSON rows")
+		mcSamples      = flag.Int("mc-samples", 0, "per-query Monte Carlo sample override (WithMonteCarloSamples) for -experiment parallel")
 	)
 	flag.Parse()
 	if *parallel {
@@ -91,13 +107,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *queryTimeoutMS < 0 || *queryLimit < 0 || *pageBudget < 0 || *mcSamples < 0 {
+		fmt.Fprintln(os.Stderr, "-query-timeout, -limit, -page-budget and -mc-samples must be ≥ 0")
+		os.Exit(2)
+	}
+
 	cfg := experiments.Config{
-		Scale:     *scale,
-		Queries:   *queries,
-		MCSamples: *samples,
-		Seed:      *seed,
-		IOLatency: time.Duration(*iolatMS * float64(time.Millisecond)),
-		Out:       os.Stdout,
+		Scale:           *scale,
+		Queries:         *queries,
+		MCSamples:       *samples,
+		Seed:            *seed,
+		IOLatency:       time.Duration(*iolatMS * float64(time.Millisecond)),
+		Out:             os.Stdout,
+		QueryTimeout:    time.Duration(*queryTimeoutMS * float64(time.Millisecond)),
+		QueryLimit:      *queryLimit,
+		QueryPageBudget: *pageBudget,
+		QueryMCSamples:  *mcSamples,
 	}
 
 	run := func(name string, fn func() error) {
@@ -114,12 +139,16 @@ func main() {
 	ran := false
 	eff := cfg.WithDefaults()
 	report := jsonReport{
-		Experiment:  *exp,
-		Scale:       eff.Scale,
-		Queries:     eff.Queries,
-		Seed:        eff.Seed,
-		IOLatencyMS: *iolatMS,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Experiment:     *exp,
+		Scale:          eff.Scale,
+		Queries:        eff.Queries,
+		Seed:           eff.Seed,
+		IOLatencyMS:    *iolatMS,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		QueryTimeoutMS: *queryTimeoutMS,
+		QueryLimit:     *queryLimit,
+		PageBudget:     *pageBudget,
+		MCSamples:      *mcSamples,
 	}
 	if all || *exp == "fig7" {
 		run("fig7", func() error { _, err := experiments.Fig7(cfg, nil); return err })

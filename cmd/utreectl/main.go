@@ -14,9 +14,18 @@
 // -prefetch N arms intra-query I/O pipelining: up to N of one query's page
 // fetches proceed concurrently (results are identical; only wall time
 // changes), e.g. `utreectl query -latency 10 -prefetch 8 ...`.
+//
+// query and nn additionally take the per-query options of the
+// context-first API: -timeout (wall-time deadline, ms; a timed-out query
+// reports its partial results), -mc-samples (Monte Carlo refinement
+// samples), -limit (top-N early cut) and -page-budget (max physical page
+// fetches; an exhausted budget reports the partial results found within
+// it), e.g. `utreectl query -latency 10 -page-budget 32 ...`.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +56,12 @@ func main() {
 		buffer   = fs.Int("buffer", 0, "buffer pool size in pages (0 = default 256)")
 		latency  = fs.Float64("latency", 0, "simulated per-page storage latency, milliseconds (0 disables; paper era model: 10)")
 		prefetch = fs.Int("prefetch", 0, "intra-query prefetch fan-out: concurrent page fetches one query may have in flight (0 disables)")
+
+		// Per-query options for query and nn.
+		timeoutMS  = fs.Float64("timeout", 0, "per-query wall-time deadline, milliseconds (0 = none); a timed-out query prints its partial results")
+		mcSamples  = fs.Int("mc-samples", 0, "Monte Carlo refinement samples for this query (0 = index default)")
+		limit      = fs.Int("limit", 0, "stop after this many results (top-N early cut; 0 = unlimited)")
+		pageBudget = fs.Int("page-budget", 0, "max physical page fetches for this query (0 = unlimited); an exhausted budget prints the partial results")
 	)
 	fs.Parse(os.Args[2:])
 	if *index == "" {
@@ -57,10 +72,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-buffer, -latency and -prefetch must be ≥ 0")
 		usage()
 	}
+	if *timeoutMS < 0 || *mcSamples < 0 || *limit < 0 || *pageBudget < 0 {
+		fmt.Fprintln(os.Stderr, "-timeout, -mc-samples, -limit and -page-budget must be ≥ 0")
+		usage()
+	}
 	cfg := uncertain.Config{
 		BufferPages:          *buffer,
 		SimulatedPageLatency: time.Duration(*latency * float64(time.Millisecond)),
 		PrefetchWorkers:      *prefetch,
+	}
+	q := queryParams{
+		timeout:    time.Duration(*timeoutMS * float64(time.Millisecond)),
+		mcSamples:  *mcSamples,
+		limit:      *limit,
+		pageBudget: *pageBudget,
 	}
 
 	var err error
@@ -72,15 +97,61 @@ func main() {
 	case "verify":
 		err = verify(*index, cfg)
 	case "query":
-		err = query(*index, *rect, *prob, cfg)
+		err = query(*index, *rect, *prob, cfg, q)
 	case "nn":
-		err = nearest(*index, *point, *k, cfg)
+		err = nearest(*index, *point, *k, cfg, q)
 	default:
 		usage()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "utreectl %s: %v\n", cmd, err)
 		os.Exit(1)
+	}
+}
+
+// queryParams carries the per-query option flags of query and nn.
+type queryParams struct {
+	timeout    time.Duration
+	mcSamples  int
+	limit      int
+	pageBudget int
+}
+
+// context builds the query context (with deadline when -timeout is set)
+// and the option list.
+func (p queryParams) context() (context.Context, context.CancelFunc, []uncertain.QueryOption) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if p.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+	}
+	var opts []uncertain.QueryOption
+	if p.mcSamples > 0 {
+		opts = append(opts, uncertain.WithMonteCarloSamples(p.mcSamples))
+	}
+	if p.limit > 0 {
+		opts = append(opts, uncertain.WithLimit(p.limit))
+	}
+	if p.pageBudget > 0 {
+		opts = append(opts, uncertain.WithPageBudget(p.pageBudget))
+	}
+	return ctx, cancel, opts
+}
+
+// explainPartial reports an expected early stop (deadline, cancellation,
+// page budget) as a notice and returns nil so the partial results print;
+// any other error is returned as-is.
+func explainPartial(err error, elapsed time.Duration, budget int) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, uncertain.ErrBudgetExceeded):
+		fmt.Printf("page budget of %d exhausted after %v; partial results follow\n", budget, elapsed.Round(time.Microsecond))
+		return nil
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		fmt.Printf("query cancelled after %v (%v); partial results follow\n", elapsed.Round(time.Microsecond), err)
+		return nil
+	default:
+		return err
 	}
 }
 
@@ -150,7 +221,7 @@ func verify(path string, cfg uncertain.Config) error {
 	return nil
 }
 
-func query(path, rectSpec string, prob float64, cfg uncertain.Config) error {
+func query(path, rectSpec string, prob float64, cfg uncertain.Config, qp queryParams) error {
 	if rectSpec == "" {
 		return fmt.Errorf("missing -rect")
 	}
@@ -174,14 +245,19 @@ func query(path, rectSpec string, prob float64, cfg uncertain.Config) error {
 		return err
 	}
 	defer tree.Close()
+	ctx, cancel, opts := qp.context()
+	defer cancel()
 	start := time.Now()
-	results, s, err := tree.Search(rq, prob)
-	if err != nil {
+	results, s, err := tree.Search(ctx, rq, prob, opts...)
+	if err := explainPartial(err, time.Since(start), qp.pageBudget); err != nil {
 		return err
 	}
 	fmt.Printf("%d results in %v (node accesses %d, prob computations %d, validated %d, refinement IOs %d)\n",
 		len(results), time.Since(start).Round(time.Microsecond),
 		s.NodeAccesses, s.ProbComputations, s.Validated, s.RefinementIOs)
+	if s.PagesFetched > 0 {
+		fmt.Printf("physical page fetches: %d (budget %d)\n", s.PagesFetched, qp.pageBudget)
+	}
 	if s.PrefetchIssued > 0 {
 		fmt.Printf("prefetch: %d issued, %d coalesced, %d wasted\n",
 			s.PrefetchIssued, s.PrefetchCoalesced, s.PrefetchWasted)
@@ -200,7 +276,7 @@ func query(path, rectSpec string, prob float64, cfg uncertain.Config) error {
 	return nil
 }
 
-func nearest(path, pointSpec string, k int, cfg uncertain.Config) error {
+func nearest(path, pointSpec string, k int, cfg uncertain.Config, qp queryParams) error {
 	if pointSpec == "" {
 		return fmt.Errorf("missing -point")
 	}
@@ -218,9 +294,11 @@ func nearest(path, pointSpec string, k int, cfg uncertain.Config) error {
 		return err
 	}
 	defer tree.Close()
+	ctx, cancel, opts := qp.context()
+	defer cancel()
 	start := time.Now()
-	nns, s, err := tree.NearestNeighbors(q, k)
-	if err != nil {
+	nns, s, err := tree.NearestNeighbors(ctx, q, k, opts...)
+	if err := explainPartial(err, time.Since(start), qp.pageBudget); err != nil {
 		return err
 	}
 	fmt.Printf("%d nearest neighbors of %v in %v (node accesses %d, distance computations %d)\n",

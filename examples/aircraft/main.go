@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 		uncertain.Pt(6000, 6000, 5000),
 	)
 	for _, pq := range []float64{0.3, 0.6, 0.9} {
-		results, stats, err := tree.Search(block, pq)
+		results, stats, err := tree.Search(context.Background(), block, pq)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func main() {
 		uncertain.Pt(c[0]-300, c[1]-300, c[2]-300),
 		uncertain.Pt(c[0]+300, c[1]+300, c[2]+300),
 	)
-	results, _, err := tree.Search(probe, 0.95)
+	results, _, err := tree.Search(context.Background(), probe, 0.95)
 	if err != nil {
 		log.Fatal(err)
 	}

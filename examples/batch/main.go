@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/uncertain"
 )
@@ -37,8 +39,14 @@ func main() {
 		}
 	}
 
+	// The whole batch runs under a deadline: if it passes, the in-flight
+	// queries stop mid-traversal and SearchBatch returns the completed
+	// prefix with ctx.Err(). EngineOptions.QueryTimeout would bound each
+	// query individually instead.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
 	eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: 4})
-	results, stats, err := eng.SearchBatch(queries)
+	results, stats, err := eng.SearchBatch(ctx, queries)
 	if err != nil {
 		panic(err)
 	}

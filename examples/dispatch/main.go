@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,7 +61,7 @@ func main() {
 
 	// A pickup request at the station square.
 	pickup := uncertain.Pt(5200, 4800)
-	nns, stats, err := tree.NearestNeighbors(pickup, 5)
+	nns, stats, err := tree.NearestNeighbors(context.Background(), pickup, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func main() {
 	nearbox := uncertain.Box(
 		uncertain.Pt(pickup[0]-800, pickup[1]-800),
 		uncertain.Pt(pickup[0]+800, pickup[1]+800))
-	sure, _, err := tree.Search(nearbox, 0.9)
+	sure, _, err := tree.Search(context.Background(), nearbox, 0.9)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 	// Downtown is a 1.5 km square around the first hub.
 	downtown := uncertain.Box(uncertain.Pt(1750, 1750), uncertain.Pt(3250, 3250))
 	for _, pq := range []float64{0.5, 0.8, 0.95} {
-		results, stats, err := tree.Search(downtown, pq)
+		results, stats, err := tree.Search(context.Background(), downtown, pq)
 		if err != nil {
 			log.Fatal(err)
 		}

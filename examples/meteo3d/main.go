@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,7 +58,7 @@ func main() {
 	// UV [4.5, 6] — swept over likelihood thresholds.
 	q := uncertain.Box(uncertain.Pt(75, 40, 4.5), uncertain.Pt(80, 60, 6))
 	for _, pq := range []float64{0.3, 0.5, 0.7} {
-		results, stats, err := tree.Search(q, pq)
+		results, stats, err := tree.Search(context.Background(), q, pq)
 		if err != nil {
 			log.Fatal(err)
 		}

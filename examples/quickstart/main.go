@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/uncertain"
 )
@@ -44,9 +46,14 @@ func main() {
 	}
 
 	// "Which objects are in the district [80,80]x[230,230] with at least
-	// 60% probability?"
+	// 60% probability?" Queries are context-first: this one carries a
+	// 100 ms deadline — past it the traversal stops within about one page
+	// latency and returns context.DeadlineExceeded with whatever partial
+	// results it had (on this tiny in-memory tree it always finishes).
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
 	district := uncertain.Box(uncertain.Pt(80, 80), uncertain.Pt(230, 230))
-	results, stats, err := tree.Search(district, 0.6)
+	results, stats, err := tree.Search(ctx, district, 0.6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,10 +69,12 @@ func main() {
 	fmt.Printf("cost: %d node accesses, %d probability computations\n",
 		stats.NodeAccesses, stats.ProbComputations)
 
-	// Tighten the threshold: a borderline object drops out.
-	results, _, err = tree.Search(district, 0.95)
+	// Tighten the threshold: a borderline object drops out. Per-query
+	// options tune one query without touching the index — here a top-2
+	// early cut.
+	results, _, err = tree.Search(ctx, district, 0.95, uncertain.WithLimit(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("district query (pq = 0.95): %d result(s)\n", len(results))
+	fmt.Printf("district query (pq = 0.95, limit 2): %d result(s)\n", len(results))
 }

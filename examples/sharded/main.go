@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -68,7 +69,7 @@ func main() {
 	for i := 0; i < polls; i++ {
 		cx, cy := rng.Float64()*10000, rng.Float64()*10000
 		zone := uncertain.Box(uncertain.Pt(cx-400, cy-400), uncertain.Pt(cx+400, cy+400))
-		results, stats, err := st.Search(zone, 0.7)
+		results, stats, err := st.Search(context.Background(), zone, 0.7)
 		if err != nil {
 			panic(err)
 		}

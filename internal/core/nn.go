@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,6 +46,10 @@ type NNStats struct {
 	PrefetchIssued    int
 	PrefetchCoalesced int
 	PrefetchWasted    int
+
+	// PagesFetched counts the physical fetches charged against
+	// QueryOpts.PageBudget; filled only when a budget is armed.
+	PagesFetched int
 }
 
 // Add accumulates o into s — the NN counterpart of QueryStats.Add, shared
@@ -56,6 +61,7 @@ func (s *NNStats) Add(o NNStats) {
 	s.PrefetchIssued += o.PrefetchIssued
 	s.PrefetchCoalesced += o.PrefetchCoalesced
 	s.PrefetchWasted += o.PrefetchWasted
+	s.PagesFetched += o.PagesFetched
 }
 
 // nnItem is a priority-queue element: either a tree node or a leaf object
@@ -94,15 +100,36 @@ func (t *Tree) NearestNeighborsRO(q geom.Point, k int) ([]NNResult, NNStats, err
 // integration run — the best-first pop order, the refinement order, and
 // the per-object sampler seeding are untouched, so results are
 // byte-identical to the serial traversal.
-func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNStats, err error) {
+func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error) {
+	return t.NearestNeighborsCtx(context.Background(), q, k, QueryOpts{})
+}
+
+// NearestNeighborsCtx is NearestNeighbors with a cancellation context and
+// per-query options. The best-first loop checks ctx before every pop, so a
+// cancelled traversal returns ctx.Err() with the (admissible but possibly
+// incomplete) neighbors found so far. QueryOpts.Limit caps k;
+// QueryOpts.PageBudget stops the traversal with ErrBudgetExceeded after
+// exactly that many physical page fetches. With a zero QueryOpts, results
+// are byte-identical to NearestNeighbors.
+func (t *Tree) NearestNeighborsCtx(ctx context.Context, q geom.Point, k int, o QueryOpts) (best []NNResult, stats NNStats, err error) {
 	if len(q) != t.dim {
 		return nil, stats, fmt.Errorf("core: query point dim %d, tree dim %d", len(q), t.dim)
 	}
 	if k < 1 {
 		return nil, stats, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	ses := t.openSessions()
+	plan := t.resolvePlan(ctx, o)
+	if plan.limit > 0 && plan.limit < k {
+		k = plan.limit
+	}
+	ses := t.openSessions(&plan)
 	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
+
+	meter := fetchMeter{budget: plan.budget}
+	partial := func(err error) ([]NNResult, NNStats, error) {
+		stats.PagesFetched = meter.spent
+		return best, stats, err
+	}
 
 	pq := &nnHeap{{lb: 0, isNode: true, page: t.rootPage}}
 	heap.Init(pq)
@@ -110,6 +137,9 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNS
 	worst := math.Inf(1)
 
 	for pq.Len() > 0 {
+		if cerr := plan.ctx.Err(); cerr != nil {
+			return partial(cerr)
+		}
 		it := heap.Pop(pq).(nnItem)
 		if len(best) == k && it.lb >= worst {
 			break // every remaining item is at least as far
@@ -118,9 +148,9 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNS
 			speculateNN(pq, ses, len(best) == k, worst)
 		}
 		if it.isNode {
-			n, err := t.readNodeVia(ses.nodes, it.page)
+			n, err := t.fetchNode(ses.nodes, &meter, it.page)
 			if err != nil {
-				return nil, stats, err
+				return partial(err)
 			}
 			stats.NodeAccesses++
 			if n.leaf() {
@@ -146,9 +176,9 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNS
 		// Leaf object: refine its expected distance (DataFile.Read is
 		// exactly this page-read + slot-extract, so serial behavior is
 		// unchanged).
-		pageBuf, err := t.readDataPageVia(ses.data, it.addr.Page)
+		pageBuf, err := t.fetchDataPage(ses.data, &meter, it.addr.Page)
 		if err != nil {
-			return nil, stats, err
+			return partial(err)
 		}
 		rec, err := pagefile.RecordFromPage(pageBuf, it.addr.Slot)
 		if err != nil {
@@ -159,7 +189,7 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNS
 		if err != nil {
 			return nil, stats, err
 		}
-		d := ExpectedDistance(obj.PDF, q, t.samples, obj.ID)
+		d := ExpectedDistance(obj.PDF, q, plan.samples, obj.ID)
 		stats.DistanceComps++
 		if len(best) < k || d < worst {
 			best = insertNN(best, NNResult{ID: obj.ID, ExpectedDist: d}, k)
@@ -168,6 +198,9 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) (best []NNResult, stats NNS
 				worst = math.Inf(1)
 			}
 		}
+	}
+	if plan.budget > 0 {
+		stats.PagesFetched = meter.spent
 	}
 	return best, stats, nil
 }

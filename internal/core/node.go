@@ -20,12 +20,20 @@ func (n *node) leaf() bool { return n.level == 0 }
 // readNode fetches and deserializes a page, counting one logical node
 // access.
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
+	n, _, err := t.readNodeMiss(id)
+	return n, err
+}
+
+// readNodeMiss is readNode plus the buffer pool's per-call miss report,
+// which the budgeted query path charges against its page budget.
+func (t *Tree) readNodeMiss(id pagefile.PageID) (*node, bool, error) {
 	t.nodeReads.Add(1)
-	buf, err := t.pool.Get(id)
+	buf, miss, err := t.pool.GetMiss(id)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading node %d: %w", id, err)
+		return nil, miss, fmt.Errorf("core: reading node %d: %w", id, err)
 	}
-	return t.decodeNode(id, buf)
+	n, err := t.decodeNode(id, buf)
+	return n, miss, err
 }
 
 // writeNode serializes a node back to its page.

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/pagefile"
+)
+
+// This file is the per-query execution plan behind the context-first query
+// API: every query entry point (RangeQueryCtx, NearestNeighborsCtx and the
+// legacy wrappers) resolves a QueryOpts against the tree's configuration
+// once, up front, into an immutable qplan that the traversal then consults
+// — no global mutator needs to run, and two concurrent queries on one tree
+// can use different refinement precision, prefetch fan-out, or I/O budgets.
+
+// ErrBudgetExceeded is returned by a query whose QueryOpts.PageBudget ran
+// out: the traversal performed exactly the budgeted number of physical
+// page fetches and then stopped, returning the results and stats gathered
+// so far. Test with errors.Is; the partial results are still valid answers
+// (every returned object truly qualifies), the set is just incomplete.
+var ErrBudgetExceeded = errors.New("core: page budget exceeded")
+
+// QueryOpts carries per-query overrides of the tree's configured query
+// behavior. The zero value means "inherit everything" and reproduces the
+// tree's configured behavior bit for bit.
+type QueryOpts struct {
+	// MCSamples overrides Options.MCSamples for this query's Monte Carlo
+	// refinement when > 0.
+	MCSamples int
+	// Exact overrides Options.ExactRefinement when ExactSet is true.
+	ExactSet bool
+	Exact    bool
+	// Prefetch overrides the tree's prefetch fan-out when PrefetchSet is
+	// true: ≤ 0 disables prefetching for this query, > 0 gives the query
+	// its own in-flight bound (independent of other queries').
+	PrefetchSet bool
+	Prefetch    int
+	// Limit stops a range query after this many results (0 = unlimited);
+	// for NN queries it caps k. The cut is deterministic: results arrive in
+	// the serial traversal order, so a limited query returns a prefix of
+	// the unlimited query's result sequence.
+	Limit int
+	// PageBudget bounds the physical page fetches (buffer-pool misses plus
+	// data-page reads) the query may perform; 0 = unlimited. When the
+	// budget runs out the query returns ErrBudgetExceeded with the partial
+	// results and stats gathered so far. A budgeted query runs without
+	// prefetching so the accounting is exact.
+	PageBudget int
+}
+
+// qplan is a QueryOpts resolved against the tree's configuration: every
+// field is concrete, nothing is inherited at use sites.
+type qplan struct {
+	ctx      context.Context
+	samples  int
+	exact    bool
+	prefetch *pagefile.Prefetcher // nil = no prefetching
+	limit    int
+	budget   int
+}
+
+// resolvePlan merges o over the tree's configured defaults. With a zero
+// QueryOpts the plan reproduces the tree's configuration exactly, which is
+// what keeps default-option queries byte-identical to the pre-plan code.
+func (t *Tree) resolvePlan(ctx context.Context, o QueryOpts) qplan {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := qplan{
+		ctx:      ctx,
+		samples:  t.samples,
+		exact:    t.exact,
+		prefetch: t.prefetch,
+		limit:    o.Limit,
+		budget:   o.PageBudget,
+	}
+	if o.MCSamples > 0 {
+		p.samples = o.MCSamples
+	}
+	if o.ExactSet {
+		p.exact = o.Exact
+	}
+	if o.PrefetchSet {
+		if o.Prefetch <= 0 {
+			p.prefetch = nil
+		} else {
+			p.prefetch = pagefile.NewPrefetcher(o.Prefetch)
+		}
+	}
+	if p.budget > 0 {
+		// Budget accounting charges buffer-pool misses per fetch; async
+		// prefetch would make the charge order nondeterministic, so a
+		// budgeted query runs serially.
+		p.prefetch = nil
+	}
+	return p
+}
+
+// limitReached reports whether a range query holding n results must stop.
+func (p *qplan) limitReached(n int) bool { return p.limit > 0 && n >= p.limit }
+
+// fetchMeter charges physical page fetches against a query's page budget.
+type fetchMeter struct {
+	budget int // 0 = unlimited
+	spent  int
+}
+
+// chargeData reserves one data-page read (always physical: data pages
+// bypass the buffer pool).
+func (m *fetchMeter) chargeData() error {
+	if m.budget > 0 && m.spent >= m.budget {
+		return ErrBudgetExceeded
+	}
+	m.spent++
+	return nil
+}
+
+// fetchNode reads a tree page under the meter: when the budget is armed, a
+// fetch that would have to touch storage past the budget is refused before
+// any I/O happens, and actual misses are charged. Without a budget it
+// defers to the (possibly prefetching) session path.
+func (t *Tree) fetchNode(ses *pagefile.PrefetchSession, m *fetchMeter, id pagefile.PageID) (*node, error) {
+	if m.budget <= 0 {
+		return t.readNodeVia(ses, id)
+	}
+	if m.spent >= m.budget && !t.pool.Contains(id) {
+		return nil, ErrBudgetExceeded
+	}
+	n, miss, err := t.readNodeMiss(id)
+	if err != nil {
+		return nil, err
+	}
+	if miss {
+		m.spent++
+		if m.spent > m.budget {
+			// A concurrent eviction turned the predicted hit into a miss
+			// after the budget was spent; stop now so the overshoot is
+			// bounded at one fetch (impossible for a query running alone,
+			// where Contains' answer holds).
+			return nil, ErrBudgetExceeded
+		}
+	}
+	return n, nil
+}
+
+// fetchDataPage reads a data page under the meter (see fetchNode).
+func (t *Tree) fetchDataPage(ses *pagefile.PrefetchSession, m *fetchMeter, id pagefile.PageID) ([]byte, error) {
+	if m.budget > 0 {
+		if err := m.chargeData(); err != nil {
+			return nil, err
+		}
+	}
+	return t.readDataPageVia(ses, id)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,6 +54,12 @@ type QueryStats struct {
 	PrefetchIssued    int
 	PrefetchCoalesced int
 	PrefetchWasted    int
+
+	// PagesFetched counts the physical page fetches (buffer-pool misses +
+	// data-page reads) charged against QueryOpts.PageBudget. It is filled
+	// only when a budget is armed — the budgeted path is the only one that
+	// observes per-call hit/miss outcomes — and is 0 otherwise.
+	PagesFetched int
 }
 
 // Add accumulates o into s, field by field. It is the single merge point
@@ -72,6 +79,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.PrefetchIssued += o.PrefetchIssued
 	s.PrefetchCoalesced += o.PrefetchCoalesced
 	s.PrefetchWasted += o.PrefetchWasted
+	s.PagesFetched += o.PagesFetched
 }
 
 // RangeQuery executes a prob-range query (Section 5.2): Observation 4
@@ -82,7 +90,18 @@ func (s *QueryStats) Add(o QueryStats) {
 // Like the rest of Tree, it is not safe for concurrent use (it advances the
 // shared refinement sampler); concurrent readers go through RangeQueryRO.
 func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
-	return t.rangeQuery(q, t.rng)
+	return t.RangeQueryCtx(context.Background(), q, QueryOpts{})
+}
+
+// RangeQueryCtx is RangeQuery with a cancellation context and per-query
+// options. The traversal checks ctx before every page fetch and every
+// refinement integration, so a cancelled query returns ctx.Err() within
+// roughly one page latency of the cancellation (plus draining the at most
+// prefetch-bound in-flight fetches). With a zero QueryOpts, results and
+// logical stats are byte-identical to RangeQuery.
+func (t *Tree) RangeQueryCtx(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
+	p := t.resolvePlan(ctx, o)
+	return t.rangeQuery(q, t.rng, &p)
 }
 
 // RangeQueryRO is the read-only query entry point: it answers q without
@@ -93,7 +112,14 @@ func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
 // query), so Monte Carlo results are reproducible per query regardless of
 // scheduling or batch order (like ExpectedDistance's per-object seeding).
 func (t *Tree) RangeQueryRO(q Query) ([]Result, QueryStats, error) {
-	return t.rangeQuery(q, rand.New(rand.NewSource(t.roSeed(q))))
+	return t.RangeQueryROCtx(context.Background(), q, QueryOpts{})
+}
+
+// RangeQueryROCtx is RangeQueryRO with a cancellation context and
+// per-query options (see RangeQueryCtx for the cancellation contract).
+func (t *Tree) RangeQueryROCtx(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
+	p := t.resolvePlan(ctx, o)
+	return t.rangeQuery(q, rand.New(rand.NewSource(t.roSeed(q))), &p)
 }
 
 // roSeed derives a deterministic sampler seed from the tree seed and the
@@ -117,20 +143,23 @@ func (t *Tree) roSeed(q Query) int64 {
 // querySessions is the per-query prefetch state: one session over the
 // buffer pool (tree pages; a prefetch warms the cache the claim then reads)
 // and one over the raw store (data pages, which bypass the pool). Both are
-// nil when the tree has no prefetcher — the serial cost-model path.
+// nil when the plan has no prefetcher — the serial cost-model path.
 type querySessions struct {
 	nodes *pagefile.PrefetchSession
 	data  *pagefile.PrefetchSession
 }
 
-// open creates the sessions when the tree has a prefetcher armed.
-func (t *Tree) openSessions() querySessions {
-	if t.prefetch == nil {
+// openSessions creates the sessions when the plan has a prefetcher armed.
+// The sessions carry the query context: cancellation fails the scheduled
+// backlog without touching storage, so Drain only waits out genuinely
+// in-flight reads.
+func (t *Tree) openSessions(p *qplan) querySessions {
+	if p.prefetch == nil {
 		return querySessions{}
 	}
 	return querySessions{
-		nodes: t.prefetch.NewSession(t.pool),
-		data:  t.prefetch.NewSession(pagefile.AsGetter(t.store)),
+		nodes: p.prefetch.NewSessionCtx(p.ctx, t.pool),
+		data:  p.prefetch.NewSessionCtx(p.ctx, pagefile.AsGetter(t.store)),
 	}
 }
 
@@ -173,9 +202,10 @@ func (t *Tree) readDataPageVia(ses *pagefile.PrefetchSession, id pagefile.PageID
 	return ses.Get(id)
 }
 
-// rangeQuery is the shared implementation of RangeQuery and RangeQueryRO:
-// a level-batched descent (Observation 4 pruning), Observation 3/2
-// filtering at the leaves, then refinement of the surviving candidates.
+// rangeQuery is the shared implementation of every range entry point: a
+// level-batched descent (Observation 4 pruning), Observation 3/2 filtering
+// at the leaves, then refinement of the surviving candidates — all driven
+// by the resolved per-query plan.
 //
 // The descent processes one level's surviving nodes per round, in
 // discovery order. With prefetching armed, a round's pages are fetched
@@ -185,14 +215,29 @@ func (t *Tree) readDataPageVia(ses *pagefile.PrefetchSession, id pagefile.PageID
 // refined in (page, slot) order, and the refinement sampler is still
 // consumed serially, so the pipelined path returns byte-identical results
 // and logical counters to the serial one; only wall-clock changes.
-func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats QueryStats, err error) {
+//
+// Cancellation is checked before every page fetch and every refinement
+// integration; a cancelled query returns plan.ctx.Err() with the partial
+// results and stats gathered so far. A page budget stops the query the
+// same way with ErrBudgetExceeded after exactly plan.budget physical
+// fetches, and a result limit cuts the query once that many results exist.
+func (t *Tree) rangeQuery(q Query, rng *rand.Rand, plan *qplan) (results []Result, stats QueryStats, err error) {
 	if err := validateQuery(t.dim, q); err != nil {
 		return nil, stats, err
 	}
 	start := time.Now()
 
-	ses := t.openSessions()
+	ses := t.openSessions(plan)
 	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
+
+	meter := fetchMeter{budget: plan.budget}
+	// partial finalizes an early exit (cancel, budget, limit): the results
+	// so far are valid answers, the stats describe the work actually done.
+	partial := func(err error) ([]Result, QueryStats, error) {
+		stats.Results = len(results)
+		stats.PagesFetched = meter.spent
+		return results, stats, err
+	}
 
 	// p_j for Observation 4: largest catalog value ≤ p_q (always exists
 	// since p_1 = 0).
@@ -205,15 +250,22 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats Quer
 	var cands []candidate
 
 	frontier := []pagefile.PageID{t.rootPage}
+descent:
 	for len(frontier) > 0 {
 		if ses.nodes != nil && len(frontier) > 1 {
 			ses.nodes.Prefetch(frontier...)
 		}
 		var next []pagefile.PageID
 		for _, page := range frontier {
-			n, err := t.readNodeVia(ses.nodes, page)
+			if cerr := plan.ctx.Err(); cerr != nil {
+				return partial(cerr)
+			}
+			if plan.limitReached(len(results)) {
+				break descent
+			}
+			n, err := t.fetchNode(ses.nodes, &meter, page)
 			if err != nil {
-				return nil, stats, err
+				return partial(err)
 			}
 			stats.NodeAccesses++
 			if !n.leaf() {
@@ -239,6 +291,9 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats Quer
 				case pcr.Validated:
 					results = append(results, Result{ID: e.id, Prob: -1, Validated: true})
 					stats.Validated++
+					if plan.limitReached(len(results)) {
+						break descent
+					}
 				case pcr.Unknown:
 					cands = append(cands, candidate{e.id, e.addr})
 				}
@@ -273,11 +328,19 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats Quer
 	var pageBuf []byte
 	var pageID pagefile.PageID = pagefile.InvalidPage
 	for _, c := range cands {
+		if cerr := plan.ctx.Err(); cerr != nil {
+			stats.RefineTime = time.Since(refineStart)
+			return partial(cerr)
+		}
+		if plan.limitReached(len(results)) {
+			break
+		}
 		if c.addr.Page != pageID {
 			var err error
-			pageBuf, err = t.readDataPageVia(ses.data, c.addr.Page)
+			pageBuf, err = t.fetchDataPage(ses.data, &meter, c.addr.Page)
 			if err != nil {
-				return nil, stats, err
+				stats.RefineTime = time.Since(refineStart)
+				return partial(err)
 			}
 			pageID = c.addr.Page
 			stats.RefinementIOs++
@@ -290,7 +353,7 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats Quer
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: refining object %d: %w", c.id, err)
 		}
-		p := t.appearanceProbability(obj.PDF, q.Rect, rng)
+		p := t.appearanceProbability(obj.PDF, q.Rect, rng, plan)
 		stats.ProbComputations++
 		if p >= q.Prob {
 			results = append(results, Result{ID: obj.ID, Prob: p})
@@ -298,19 +361,22 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand) (results []Result, stats Quer
 	}
 	stats.RefineTime = time.Since(refineStart)
 	stats.Results = len(results)
+	if plan.budget > 0 {
+		stats.PagesFetched = meter.spent
+	}
 	return results, stats, nil
 }
 
-// appearanceProbability evaluates Equation 2, by exact oracle when
-// configured and available, else by Monte Carlo (Equation 3) driven by the
-// caller's sampler.
-func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect, rng *rand.Rand) float64 {
-	if t.exact {
+// appearanceProbability evaluates Equation 2, by exact oracle when the
+// plan asks for it and the pdf supports it, else by Monte Carlo (Equation
+// 3) driven by the caller's sampler at the plan's sample count.
+func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect, rng *rand.Rand, plan *qplan) float64 {
+	if plan.exact {
 		if ex, ok := p.(updf.ExactProber); ok {
 			return ex.ExactProb(rq)
 		}
 	}
-	return updf.MonteCarloProb(p, rq, t.samples, rng)
+	return updf.MonteCarloProb(p, rq, plan.samples, rng)
 }
 
 func validateQuery(dim int, q Query) error {

@@ -50,6 +50,18 @@ type Config struct {
 	IOLatency time.Duration
 	// Out receives the printed tables (nil = io.Discard).
 	Out io.Writer
+
+	// Per-query knobs for the parallel batch experiment, surfacing the
+	// context-first query API (cmd/ubench -query-timeout, -limit,
+	// -page-budget, -mc-samples). Zero disables each. QueryTimeout bounds
+	// each measured query's wall time (timed-out queries are counted, not
+	// fatal); QueryLimit is a top-N early cut; QueryPageBudget caps
+	// physical page fetches per query; QueryMCSamples overrides the
+	// refinement sample count per query.
+	QueryTimeout    time.Duration
+	QueryLimit      int
+	QueryPageBudget int
+	QueryMCSamples  int
 }
 
 // WithDefaults returns c with unset fields filled in with the experiment

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,25 @@ type ParallelRow struct {
 	QPS float64
 	// Speedup is QPS relative to the serial baseline.
 	Speedup float64
-	Stats   uncertain.BatchStats
+	// Stats carries the merged batch metrics of the measured pass,
+	// including Cancelled (queries stopped by Config.QueryTimeout) and
+	// BudgetExceeded (stopped by Config.QueryPageBudget).
+	Stats uncertain.BatchStats
+}
+
+// queryOptions builds the per-query option set the Config asks for.
+func queryOptions(cfg Config) []uncertain.QueryOption {
+	var opts []uncertain.QueryOption
+	if cfg.QueryLimit > 0 {
+		opts = append(opts, uncertain.WithLimit(cfg.QueryLimit))
+	}
+	if cfg.QueryPageBudget > 0 {
+		opts = append(opts, uncertain.WithPageBudget(cfg.QueryPageBudget))
+	}
+	if cfg.QueryMCSamples > 0 {
+		opts = append(opts, uncertain.WithMonteCarloSamples(cfg.QueryMCSamples))
+	}
+	return opts
 }
 
 // ParallelBatch builds the Fig. 9 index once, then runs the same workload
@@ -45,11 +64,14 @@ func ParallelBatch(cfg Config, workers []int) ([]ParallelRow, error) {
 	}
 	defer ct.Close()
 	ct.SetSimulatedPageLatency(cfg.IOLatency)
+	ctx := context.Background()
+	opts := queryOptions(cfg)
 
-	// Serial baseline: the plain Search loop every other experiment uses.
+	// Serial baseline: the plain Search loop every other experiment uses
+	// (no per-query options — the baseline is the untuned query).
 	warm := func() error { // one pass to fill the page cache fairly for all rows
 		for _, q := range queries {
-			if _, _, err := ct.Search(q.Rect, q.Prob); err != nil {
+			if _, _, err := ct.Search(ctx, q.Rect, q.Prob); err != nil {
 				return err
 			}
 		}
@@ -68,11 +90,14 @@ func ParallelBatch(cfg Config, workers []int) ([]ParallelRow, error) {
 	fprintf(out, "  serial      %8.1f q/s\n", baseQPS)
 
 	for _, w := range workers {
-		eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: w})
-		if _, _, err := eng.SearchBatch(queries); err != nil { // warm pass
+		eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{
+			Workers:      w,
+			QueryTimeout: cfg.QueryTimeout,
+		})
+		if _, _, err := eng.SearchBatch(ctx, queries, opts...); err != nil { // warm pass
 			return nil, err
 		}
-		_, stats, err := eng.SearchBatch(queries)
+		_, stats, err := eng.SearchBatch(ctx, queries, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -86,6 +111,10 @@ func ParallelBatch(cfg Config, workers []int) ([]ParallelRow, error) {
 		fprintf(out, "  workers=%-3d %8.1f q/s  %5.2fx  (io/q=%.1f probs/q=%.1f val=%.0f%% cache=%.0f%%)\n",
 			w, row.QPS, row.Speedup, stats.MeanNodeAccesses, stats.MeanProbComputations,
 			stats.ValidatedPct, 100*stats.CacheHitRate)
+		if stats.Cancelled > 0 || stats.BudgetExceeded > 0 {
+			fprintf(out, "              %d cancelled (timeout %v), %d budget-exceeded (budget %d pages)\n",
+				stats.Cancelled, cfg.QueryTimeout, stats.BudgetExceeded, cfg.QueryPageBudget)
+		}
 	}
 	return rows, nil
 }

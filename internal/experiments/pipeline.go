@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -111,7 +112,7 @@ func runPipelineRow(w int, cfg Config, idx uncertain.Index, queries []uncertain.
 
 	results := make([][]uncertain.Result, len(queries))
 	for i, q := range queries {
-		res, _, err := idx.Search(q.Rect, q.Prob)
+		res, _, err := idx.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			return row, nil, err
 		}
@@ -122,7 +123,7 @@ func runPipelineRow(w int, cfg Config, idx uncertain.Index, queries []uncertain.
 	start := time.Now()
 	for p := 0; p < mixedPasses; p++ {
 		for _, q := range queries {
-			_, st, err := idx.Search(q.Rect, q.Prob)
+			_, st, err := idx.Search(context.Background(), q.Rect, q.Prob)
 			if err != nil {
 				return row, nil, err
 			}
@@ -135,7 +136,7 @@ func runPipelineRow(w int, cfg Config, idx uncertain.Index, queries []uncertain.
 	start = time.Now()
 	for p := 0; p < mixedPasses; p++ {
 		for _, q := range queries {
-			if _, _, err := idx.Search(q.Rect, q.Prob); err != nil {
+			if _, _, err := idx.Search(context.Background(), q.Rect, q.Prob); err != nil {
 				writer.stopAndWait()
 				return row, nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -201,7 +202,7 @@ func runMixedRow(k int, cfg Config, idx uncertain.Index, queries []uncertain.Ran
 	// Result capture doubles as the cache warm-up pass.
 	results := make([][]uncertain.Result, len(queries))
 	for i, q := range queries {
-		res, _, err := idx.Search(q.Rect, q.Prob)
+		res, _, err := idx.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			return row, nil, err
 		}
@@ -214,7 +215,7 @@ func runMixedRow(k int, cfg Config, idx uncertain.Index, queries []uncertain.Ran
 	start := time.Now()
 	for p := 0; p < mixedPasses; p++ {
 		for _, q := range queries {
-			_, st, err := idx.Search(q.Rect, q.Prob)
+			_, st, err := idx.Search(context.Background(), q.Rect, q.Prob)
 			if err != nil {
 				writer.stopAndWait()
 				return row, nil, err

@@ -1,6 +1,9 @@
 package pagefile
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // This file is the intra-query I/O pipelining layer: an asynchronous page
 // prefetcher that lets one traversal overlap the independent page fetches
@@ -81,7 +84,19 @@ func (p *Prefetcher) Workers() int { return p.workers }
 // the session's own fetch goroutines run concurrently under the shared
 // in-flight bound. Call Drain before abandoning the session.
 func (p *Prefetcher) NewSession(src Getter) *PrefetchSession {
-	return &PrefetchSession{pf: p, src: src, inflight: make(map[PageID]*pageFetch)}
+	return p.NewSessionCtx(context.Background(), src)
+}
+
+// NewSessionCtx is NewSession bound to a context: once ctx is cancelled the
+// session stops touching storage — scheduled-but-unstarted fetches fail
+// with ctx.Err() instead of being read, and Get reports the same error —
+// so a cancelled query's Drain only waits out the reads already in flight
+// (at most the worker bound), not its whole scheduled backlog.
+func (p *Prefetcher) NewSessionCtx(ctx context.Context, src Getter) *PrefetchSession {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &PrefetchSession{pf: p, src: src, ctx: ctx, inflight: make(map[PageID]*pageFetch)}
 }
 
 // pageFetch is one async read; done is closed once data/err are set.
@@ -97,6 +112,7 @@ type pageFetch struct {
 type PrefetchSession struct {
 	pf  *Prefetcher
 	src Getter
+	ctx context.Context
 
 	mu       sync.Mutex
 	inflight map[PageID]*pageFetch
@@ -133,12 +149,24 @@ func (s *PrefetchSession) Prefetch(ids ...PageID) {
 
 // drain pops scheduled fetches until the queue is empty. Each read holds
 // one slot of the prefetcher's shared in-flight bound, so concurrent
-// sessions on one index still respect the global limit.
+// sessions on one index still respect the global limit. A cancelled
+// session context aborts the backlog: queued fetches are failed with
+// ctx.Err() without touching storage.
 func (s *PrefetchSession) drain() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
 		if len(s.queue) == 0 {
+			s.drainers--
+			s.mu.Unlock()
+			return
+		}
+		if err := s.ctx.Err(); err != nil {
+			for _, f := range s.queue {
+				f.err = err
+				close(f.done)
+			}
+			s.queue = nil
 			s.drainers--
 			s.mu.Unlock()
 			return
@@ -167,6 +195,9 @@ func (s *PrefetchSession) Get(id PageID) ([]byte, error) {
 	}
 	s.mu.Unlock()
 	if !ok {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
 		return s.src.Get(id)
 	}
 	<-f.done

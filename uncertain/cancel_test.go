@@ -1,0 +1,561 @@
+package uncertain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// This file is the correctness contract of the context-first query API:
+// cancellation must take effect within a couple of page latencies and must
+// not leak prefetch goroutines or corrupt the index; WithPageBudget must
+// stop a query after exactly the budgeted number of physical fetches; the
+// batch engine must propagate cancellation to in-flight queries instead of
+// letting a failed batch run to completion.
+
+// cancelFixture builds a file-backed ConcurrentTree whose physical page
+// accesses cost `latency` each (armed only after the build, which runs at
+// zero latency), with a pool small enough that real queries miss.
+func cancelFixture(t *testing.T, latency time.Duration, prefetch int) (*ConcurrentTree, []RangeQuery) {
+	t.Helper()
+	ct, err := NewConcurrentTree(Config{
+		Dimensions:      2,
+		ExactRefinement: true,
+		BufferPages:     8,
+		PrefetchWorkers: prefetch,
+		Path:            filepath.Join(t.TempDir(), "cancel.utree"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ct.Close() })
+	if err := ct.BulkLoad(shardedFixtureObjects(800, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ct.SetSimulatedPageLatency(latency)
+	return ct, shardedFixtureQueries(40, 62)
+}
+
+// waitGoroutines waits for the goroutine count to settle back to the
+// baseline (small slack for runtime housekeeping goroutines).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d alive, baseline %d", n, baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSearchCancelMidTraversal is the headline cancellation contract: a
+// file-backed query over 2 ms page latency, cancelled mid-traversal, must
+// return context.Canceled within ~2 page latencies, leave no prefetch
+// goroutines behind, and leave the index structurally intact and fully
+// usable. Run with -race: the prefetch fan-out's fetch goroutines must be
+// drained inside the query's lock window even on the cancel path.
+func TestSearchCancelMidTraversal(t *testing.T) {
+	const latency = 2 * time.Millisecond
+	for _, prefetch := range []int{0, 4} {
+		t.Run(fmt.Sprintf("prefetch=%d", prefetch), func(t *testing.T) {
+			ct, queries := cancelFixture(t, latency, prefetch)
+			baseline := runtime.NumGoroutine()
+
+			// The whole-domain query touches far more pages than fit in the
+			// 8-page pool: uncancelled it costs hundreds of milliseconds.
+			big := Box(Pt(0, 0), Pt(1000, 1000))
+			ctx, cancel := context.WithCancel(context.Background())
+			var cancelledAt time.Time
+			timer := time.AfterFunc(5*time.Millisecond, func() {
+				cancelledAt = time.Now()
+				cancel()
+			})
+			defer timer.Stop()
+
+			res, stats, err := ct.Search(ctx, big, 0.3)
+			returned := time.Now()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if cancelledAt.IsZero() {
+				t.Fatal("query finished before the cancel fired; grow the fixture")
+			}
+			if lag := returned.Sub(cancelledAt); lag > 10*time.Millisecond {
+				t.Fatalf("cancel-to-return took %v, want < 10ms (~2 page latencies + drain)", lag)
+			}
+			if stats.Results != len(res) {
+				t.Fatalf("partial stats.Results = %d, len(res) = %d", stats.Results, len(res))
+			}
+			waitGoroutines(t, baseline)
+
+			// The index must stay sound and answer the same query fully once
+			// the pressure is off.
+			ct.SetSimulatedPageLatency(0)
+			if err := ct.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after cancel: %v", err)
+			}
+			full, _, err := ct.Search(context.Background(), big, 0.3)
+			if err != nil {
+				t.Fatalf("query after cancel: %v", err)
+			}
+			if len(full) == 0 {
+				t.Fatal("full query empty after cancel")
+			}
+			// The cancelled run's results must be a prefix of the full run's:
+			// the traversal order is deterministic, the cancel only cut it.
+			if len(res) > len(full) {
+				t.Fatalf("partial run returned %d results, full run %d", len(res), len(full))
+			}
+			for i := range res {
+				if res[i] != full[i] {
+					t.Fatalf("partial result %d = %+v, full run has %+v", i, res[i], full[i])
+				}
+			}
+			_ = queries
+		})
+	}
+}
+
+// TestSearchDeadlineAlreadyPassed: a context that is dead on arrival must
+// stop the query before any page is fetched.
+func TestSearchDeadlineAlreadyPassed(t *testing.T) {
+	ct, queries := cancelFixture(t, 0, 0)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, stats, err := ct.Search(ctx, queries[0].Rect, queries[0].Prob)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if len(res) != 0 || stats.NodeAccesses != 0 {
+		t.Fatalf("dead-on-arrival query did work: %d results, %d node accesses", len(res), stats.NodeAccesses)
+	}
+}
+
+// TestNNCancel: the best-first NN traversal honors cancellation the same
+// way (partial neighbors + ctx error + intact index).
+func TestNNCancel(t *testing.T) {
+	ct, _ := cancelFixture(t, 2*time.Millisecond, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(5*time.Millisecond, cancel)
+	start := time.Now()
+	_, _, err := ct.NearestNeighbors(ctx, Pt(500, 500), 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Millisecond {
+		t.Fatalf("cancelled NN took %v", elapsed)
+	}
+	ct.SetSimulatedPageLatency(0)
+	if err := ct.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after NN cancel: %v", err)
+	}
+}
+
+// TestShardedCancel: cancelling a scatter-gathered query stops every shard
+// and returns the caller's context error, not a shard-wrapped one.
+func TestShardedCancel(t *testing.T) {
+	st, err := NewShardedTree(4, Config{Dimensions: 2, ExactRefinement: true, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BulkLoad(shardedFixtureObjects(800, 71)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st.SetSimulatedPageLatency(2 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(5*time.Millisecond, cancel)
+	res, stats, err := st.Search(ctx, Box(Pt(0, 0), Pt(1000, 1000)), 0.3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The partial-result contract holds across the scatter-gather: the
+	// merged stats reflect the work the shards did before the cancel, and
+	// any partial results are real answers (5 ms bought each shard at
+	// least its ~2 ms root read).
+	if stats.NodeAccesses == 0 {
+		t.Fatal("cancelled scatter-gather reported no work in its partial stats")
+	}
+	if stats.Results != len(res) {
+		t.Fatalf("partial stats.Results = %d, len(res) = %d", stats.Results, len(res))
+	}
+	st.SetSimulatedPageLatency(0)
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after sharded cancel: %v", err)
+	}
+}
+
+// TestPageBudgetExact is the WithPageBudget contract: with a 1-page pool
+// (every distinct page access is physical) a query needing N fetches must
+// fail with ErrBudgetExceeded at every budget < N — after performing
+// exactly the budgeted number of fetches — and succeed at N with results
+// identical to the unbudgeted query. Partial results must be a prefix of
+// the full result sequence.
+func TestPageBudgetExact(t *testing.T) {
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if err := ct.BulkLoad(shardedFixtureObjects(400, 81)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rect := Box(Pt(200, 200), Pt(700, 700))
+	const prob = 0.4
+	full, fullStats, err := ct.Search(context.Background(), rect, prob, WithPageBudget(1<<30))
+	if err != nil {
+		t.Fatalf("unbounded budget: %v", err)
+	}
+	need := fullStats.PagesFetched
+	// With a 1-page pool every node access and refinement I/O is physical.
+	if want := fullStats.NodeAccesses + fullStats.RefinementIOs; need != want {
+		t.Fatalf("full query fetched %d pages, want node+refinement = %d", need, want)
+	}
+	if need < 5 {
+		t.Fatalf("fixture too small: full query needs only %d fetches", need)
+	}
+	plain, _, err := ct.Search(context.Background(), rect, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "budget=inf", [][]Result{plain}, [][]Result{full})
+
+	for budget := 1; budget < need; budget++ {
+		res, stats, err := ct.Search(context.Background(), rect, prob, WithPageBudget(budget))
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("budget %d: err = %v, want ErrBudgetExceeded", budget, err)
+		}
+		if stats.PagesFetched != budget {
+			t.Fatalf("budget %d: performed %d physical fetches, want exactly the budget", budget, stats.PagesFetched)
+		}
+		if len(res) > len(full) {
+			t.Fatalf("budget %d: %d results, full query %d", budget, len(res), len(full))
+		}
+		for i := range res {
+			if res[i] != full[i] {
+				t.Fatalf("budget %d: result %d = %+v, full run has %+v", budget, i, res[i], full[i])
+			}
+		}
+	}
+	res, stats, err := ct.Search(context.Background(), rect, prob, WithPageBudget(need))
+	if err != nil {
+		t.Fatalf("budget %d (= need): %v", need, err)
+	}
+	if stats.PagesFetched != need {
+		t.Fatalf("budget = need: fetched %d, want %d", stats.PagesFetched, need)
+	}
+	requireSameResults(t, "budget=need", [][]Result{full}, [][]Result{res})
+}
+
+// TestPageBudgetNN: the NN traversal honors the budget with the same
+// error identity and partial-answer semantics.
+func TestPageBudgetNN(t *testing.T) {
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, BufferPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if err := ct.BulkLoad(shardedFixtureObjects(400, 91)); err != nil {
+		t.Fatal(err)
+	}
+	_, fullStats, err := ct.NearestNeighbors(context.Background(), Pt(500, 500), 5, WithPageBudget(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.PagesFetched < 4 {
+		t.Fatalf("fixture too small: NN needs only %d fetches", fullStats.PagesFetched)
+	}
+	budget := fullStats.PagesFetched / 2
+	nns, stats, err := ct.NearestNeighbors(context.Background(), Pt(500, 500), 5, WithPageBudget(budget))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if stats.PagesFetched != budget {
+		t.Fatalf("performed %d fetches, want exactly %d", stats.PagesFetched, budget)
+	}
+	if len(nns) > 5 {
+		t.Fatalf("partial NN returned %d > k results", len(nns))
+	}
+}
+
+// TestShardedBudgetPartial: per-shard budget exhaustion is not fatal to
+// the scatter-gather — the merged partial results come back together with
+// ErrBudgetExceeded.
+func TestShardedBudgetPartial(t *testing.T) {
+	st, err := NewShardedTree(2, Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.BulkLoad(shardedFixtureObjects(600, 95)); err != nil {
+		t.Fatal(err)
+	}
+	rect := Box(Pt(0, 0), Pt(1000, 1000))
+	full, _, err := st.Search(context.Background(), rect, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := st.Search(context.Background(), rect, 0.3, WithPageBudget(3))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if len(res) >= len(full) {
+		t.Fatalf("budgeted scatter returned %d results, full %d — expected a strict subset", len(res), len(full))
+	}
+	if stats.PagesFetched == 0 || stats.PagesFetched > 2*3 {
+		t.Fatalf("merged PagesFetched = %d, want in (0, shards×budget]", stats.PagesFetched)
+	}
+	// Partial results must be real answers.
+	fullByID := make(map[int64]Result, len(full))
+	for _, r := range full {
+		fullByID[r.ID] = r
+	}
+	for _, r := range res {
+		if want, ok := fullByID[r.ID]; !ok || want != r {
+			t.Fatalf("partial result %+v not among the full query's answers", r)
+		}
+	}
+}
+
+// TestQueryOptions covers the remaining per-query knobs: limit prefix
+// semantics, per-query prefetch arming without the index-wide mutator, and
+// per-query refinement control.
+func TestQueryOptions(t *testing.T) {
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, MonteCarloSamples: 400, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if err := ct.BulkLoad(shardedFixtureObjects(600, 101)); err != nil {
+		t.Fatal(err)
+	}
+	rect := Box(Pt(100, 100), Pt(900, 900))
+	const prob = 0.3
+	ctx := context.Background()
+
+	full, fullStats, err := ct.Search(ctx, rect, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 10 {
+		t.Fatalf("fixture too small: %d results", len(full))
+	}
+	if fullStats.PrefetchIssued != 0 {
+		t.Fatalf("default query issued %d prefetches on an unarmed index", fullStats.PrefetchIssued)
+	}
+
+	t.Run("WithLimit", func(t *testing.T) {
+		limited, _, err := ct.Search(ctx, rect, prob, WithLimit(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(limited) != 5 {
+			t.Fatalf("limit 5 returned %d results", len(limited))
+		}
+		for i := range limited {
+			if limited[i] != full[i] {
+				t.Fatalf("limited result %d = %+v, want prefix of full run (%+v)", i, limited[i], full[i])
+			}
+		}
+	})
+
+	t.Run("WithPrefetchWorkers", func(t *testing.T) {
+		res, stats, err := ct.Search(ctx, rect, prob, WithPrefetchWorkers(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "per-query prefetch", [][]Result{full}, [][]Result{res})
+		if stats.PrefetchIssued == 0 {
+			t.Fatal("WithPrefetchWorkers(8) issued no prefetches")
+		}
+		// The option must not have armed the index: the next plain query
+		// runs serial again.
+		_, after, err := ct.Search(ctx, rect, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.PrefetchIssued != 0 {
+			t.Fatal("per-query prefetch leaked into the index default")
+		}
+	})
+
+	t.Run("WithMonteCarloSamples", func(t *testing.T) {
+		coarse, coarseStats, err := ct.Search(ctx, rect, prob, WithMonteCarloSamples(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coarseStats.ProbComputations != fullStats.ProbComputations {
+			t.Fatalf("sample override changed refinement count: %d vs %d",
+				coarseStats.ProbComputations, fullStats.ProbComputations)
+		}
+		differs := false
+		for _, r := range coarse {
+			for _, f := range full {
+				if r.ID == f.ID && !r.Validated && !f.Validated && r.Prob != f.Prob {
+					differs = true
+				}
+			}
+		}
+		if !differs && fullStats.ProbComputations > 0 {
+			t.Fatal("10-sample refinement produced identical probabilities to 400-sample")
+		}
+	})
+
+	t.Run("WithExactRefinement", func(t *testing.T) {
+		exact1, _, err := ct.Search(ctx, rect, prob, WithExactRefinement(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact2, _, err := ct.Search(ctx, rect, prob, WithExactRefinement(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "exact repeat", [][]Result{exact1}, [][]Result{exact2})
+		// The mode really switched: some object refined by both runs got a
+		// different (exact vs Monte Carlo) probability. Membership may
+		// differ by a borderline object or two, which is fine.
+		differs := false
+		for _, e := range exact1 {
+			for _, f := range full {
+				if e.ID == f.ID && !e.Validated && !f.Validated && e.Prob != f.Prob {
+					differs = true
+				}
+			}
+		}
+		if !differs {
+			t.Fatal("exact refinement produced identical probabilities to Monte Carlo")
+		}
+	})
+
+	t.Run("NNWithLimit", func(t *testing.T) {
+		nns, _, err := ct.NearestNeighbors(ctx, Pt(500, 500), 10, WithLimit(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nns) != 3 {
+			t.Fatalf("NN limit 3 returned %d neighbors", len(nns))
+		}
+		fullNN, _, err := ct.NearestNeighbors(ctx, Pt(500, 500), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range nns {
+			if nns[i] != fullNN[i] {
+				t.Fatalf("limited NN %d = %+v, full %+v", i, nns[i], fullNN[i])
+			}
+		}
+	})
+}
+
+// TestEngineEarlyCancelLargeBatch is the QueryEngine leak-class
+// regression: before the redesign, a batch error or cancellation only
+// stopped *unstarted* tasks — everything in flight ran to completion. Now
+// the batch context must abort in-flight queries mid-traversal, so an
+// early-cancelled large batch over slow storage returns in milliseconds,
+// not seconds.
+func TestEngineEarlyCancelLargeBatch(t *testing.T) {
+	ct, queries := cancelFixture(t, 2*time.Millisecond, 0)
+	baseline := runtime.NumGoroutine()
+
+	// 200 slow queries ≈ many seconds of serial page stalls at 4 workers.
+	batch := make([]RangeQuery, 0, 200)
+	for len(batch) < 200 {
+		batch = append(batch, queries...)
+	}
+	eng := NewQueryEngine(ct, EngineOptions{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(15*time.Millisecond, cancel)
+	start := time.Now()
+	_, stats, err := eng.SearchBatch(ctx, batch)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("early-cancelled batch took %v, want prompt abort (in-flight queries must observe ctx)", elapsed)
+	}
+	if stats.Cancelled == 0 {
+		t.Fatal("cancelled batch reported zero cancelled queries")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestEngineFirstErrorCancelsInFlight: the first real query error must
+// cancel the in-flight siblings, not just stop handing out new tasks.
+func TestEngineFirstErrorCancelsInFlight(t *testing.T) {
+	ct, queries := cancelFixture(t, 2*time.Millisecond, 0)
+	batch := make([]RangeQuery, 0, 101)
+	batch = append(batch, RangeQuery{Rect: Box(Pt(0, 0), Pt(1, 1)), Prob: 42}) // invalid prob → immediate error
+	for len(batch) < 101 {
+		batch = append(batch, queries...)
+	}
+	eng := NewQueryEngine(ct, EngineOptions{Workers: 2})
+	start := time.Now()
+	_, _, err := eng.SearchBatch(context.Background(), batch)
+	elapsed := time.Since(start)
+	if err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the query-0 validation error", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("failed batch took %v before returning — in-flight work was not cancelled", elapsed)
+	}
+}
+
+// TestEnginePerQueryTimeout: EngineOptions.QueryTimeout bounds each query
+// without failing the batch; timed-out queries are counted.
+func TestEnginePerQueryTimeout(t *testing.T) {
+	ct, queries := cancelFixture(t, 2*time.Millisecond, 0)
+	eng := NewQueryEngine(ct, EngineOptions{Workers: 2, QueryTimeout: 3 * time.Millisecond})
+	out, stats, err := eng.SearchBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatalf("per-query timeouts must not fail the batch: %v", err)
+	}
+	if stats.Cancelled == 0 {
+		t.Fatal("3ms per-query timeout over 2ms page latency cancelled nothing")
+	}
+	if len(out) != len(queries) {
+		t.Fatalf("batch returned %d slots for %d queries", len(out), len(queries))
+	}
+}
+
+// TestEngineBudgetCounting: budget-exceeded queries keep their partial
+// results, are counted, and do not fail the batch.
+func TestEngineBudgetCounting(t *testing.T) {
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if err := ct.BulkLoad(shardedFixtureObjects(600, 111)); err != nil {
+		t.Fatal(err)
+	}
+	queries := shardedFixtureQueries(20, 112)
+	eng := NewQueryEngine(ct, EngineOptions{Workers: 2})
+	_, stats, err := eng.SearchBatch(context.Background(), queries, WithPageBudget(2))
+	if err != nil {
+		t.Fatalf("budget exhaustion must not fail the batch: %v", err)
+	}
+	if stats.BudgetExceeded == 0 {
+		t.Fatal("2-page budget over a 1-page pool exhausted nothing")
+	}
+}

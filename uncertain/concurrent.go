@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -51,20 +52,22 @@ func (c *ConcurrentTree) BulkLoad(objects map[int64]PDF) error {
 // read path is genuinely shared-state free — the buffer pool is sharded,
 // and each query's refinement sampler is seeded deterministically from the
 // (tree seed, query) pair (core.RangeQueryRO) — so parallel searches scale
-// with cores and results are reproducible per query. QueryEngine builds
-// batch fan-out on top of this.
-func (c *ConcurrentTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
+// with cores and results are reproducible per query. Cancellation releases
+// the read lock within roughly one page latency, so a stuck query cannot
+// starve a waiting writer. QueryEngine builds batch fan-out on top of
+// this.
+func (c *ConcurrentTree) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.tree.inner.RangeQueryRO(core.Query{Rect: rect, Prob: prob})
+	return c.tree.inner.RangeQueryROCtx(ctx, core.Query{Rect: rect, Prob: prob}, resolveOptions(opts))
 }
 
 // NearestNeighbors answers an expected-distance k-NN query (read lock; see
-// Search for concurrency semantics).
-func (c *ConcurrentTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
+// Search for concurrency and cancellation semantics).
+func (c *ConcurrentTree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.tree.inner.NearestNeighborsRO(q, k)
+	return c.tree.inner.NearestNeighborsCtx(ctx, q, k, resolveOptions(opts))
 }
 
 // CacheStats reports the underlying buffer pool's cumulative hit/miss
@@ -75,12 +78,19 @@ func (c *ConcurrentTree) CacheStats() (hits, misses int64) {
 
 // SetSimulatedPageLatency re-arms the simulated storage latency (see
 // Tree.SetSimulatedPageLatency); safe to call concurrently with queries.
+//
+// Deprecated: set Config.SimulatedPageLatency when opening the index; the
+// mutator remains for build-then-measure tooling.
 func (c *ConcurrentTree) SetSimulatedPageLatency(d time.Duration) {
 	c.tree.SetSimulatedPageLatency(d)
 }
 
-// SetPrefetchWorkers re-arms the intra-query prefetch fan-out (exclusive
-// lock: in-flight queries finish on the old setting before it swaps).
+// SetPrefetchWorkers re-arms the default intra-query prefetch fan-out
+// (exclusive lock: in-flight queries finish on the old setting before it
+// swaps).
+//
+// Deprecated: pass WithPrefetchWorkers per query — it takes no lock and
+// stalls no reader — or set Config.PrefetchWorkers at open time.
 func (c *ConcurrentTree) SetPrefetchWorkers(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -37,7 +38,7 @@ func TestConcurrentTreeParallelMixedOps(t *testing.T) {
 					errs <- fmt.Errorf("worker %d insert: %w", w, err)
 					return
 				}
-				if _, _, err := ct.Search(Box(Pt(0, 0), Pt(500, 500)), 0.5); err != nil {
+				if _, _, err := ct.Search(context.Background(), Box(Pt(0, 0), Pt(500, 500)), 0.5); err != nil {
 					errs <- fmt.Errorf("worker %d search: %w", w, err)
 					return
 				}
@@ -48,7 +49,7 @@ func TestConcurrentTreeParallelMixedOps(t *testing.T) {
 					}
 				}
 				if i%7 == 0 {
-					if _, _, err := ct.NearestNeighbors(Pt(rng.Float64()*1000, rng.Float64()*1000), 3); err != nil {
+					if _, _, err := ct.NearestNeighbors(context.Background(), Pt(rng.Float64()*1000, rng.Float64()*1000), 3); err != nil {
 						errs <- fmt.Errorf("worker %d nn: %w", w, err)
 						return
 					}
@@ -131,7 +132,7 @@ func TestSearchWhileInsertStress(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(r)))
 			for i := 0; i < searchesPerReader; i++ {
 				cx, cy := rng.Float64()*1000, rng.Float64()*1000
-				res, _, err := ct.Search(Box(Pt(cx-100, cy-100), Pt(cx+100, cy+100)), 0.5)
+				res, _, err := ct.Search(context.Background(), Box(Pt(cx-100, cy-100), Pt(cx+100, cy+100)), 0.5)
 				if err != nil {
 					errs <- fmt.Errorf("reader %d search: %w", r, err)
 					return
@@ -143,7 +144,7 @@ func TestSearchWhileInsertStress(t *testing.T) {
 					}
 				}
 				if i%10 == 0 {
-					if _, _, err := ct.NearestNeighbors(Pt(cx, cy), 3); err != nil {
+					if _, _, err := ct.NearestNeighbors(context.Background(), Pt(cx, cy), 3); err != nil {
 						errs <- fmt.Errorf("reader %d nn: %w", r, err)
 						return
 					}
@@ -193,7 +194,7 @@ func TestSearchBatchMatchesSerial(t *testing.T) {
 
 	serial := make([][]Result, len(queries))
 	for i, q := range queries {
-		res, _, err := ct.Search(q.Rect, q.Prob)
+		res, _, err := ct.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func TestSearchBatchMatchesSerial(t *testing.T) {
 	}
 
 	eng := NewQueryEngine(ct, EngineOptions{Workers: 4})
-	batch, stats, err := eng.SearchBatch(queries)
+	batch, stats, err := eng.SearchBatch(context.Background(), queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,14 +264,14 @@ func TestNNBatchMatchesSerial(t *testing.T) {
 	}
 	serial := make([][]Neighbor, len(queries))
 	for i, q := range queries {
-		res, _, err := ct.NearestNeighbors(q.Point, q.K)
+		res, _, err := ct.NearestNeighbors(context.Background(), q.Point, q.K)
 		if err != nil {
 			t.Fatal(err)
 		}
 		serial[i] = res
 	}
 	eng := NewQueryEngine(ct, EngineOptions{})
-	batch, stats, err := eng.NNBatch(queries)
+	batch, stats, err := eng.NNBatch(context.Background(), queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestSearchBatchPropagatesError(t *testing.T) {
 		{Rect: Box(Pt(0, 0), Pt(100, 100)), Prob: 1.5}, // invalid threshold
 	}
 	eng := NewQueryEngine(ct, EngineOptions{Workers: 2})
-	if _, _, err := eng.SearchBatch(queries); err == nil {
+	if _, _, err := eng.SearchBatch(context.Background(), queries); err == nil {
 		t.Fatal("invalid query accepted")
 	}
 }
@@ -318,7 +319,7 @@ func TestSearchBatchEmpty(t *testing.T) {
 	}
 	defer ct.Close()
 	eng := NewQueryEngine(ct, EngineOptions{})
-	out, stats, err := eng.SearchBatch(nil)
+	out, stats, err := eng.SearchBatch(context.Background(), nil)
 	if err != nil || len(out) != 0 || stats.Queries != 0 {
 		t.Fatalf("out=%v stats=%+v err=%v", out, stats, err)
 	}

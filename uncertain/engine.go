@@ -1,6 +1,8 @@
 package uncertain
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -76,12 +78,28 @@ type BatchStats struct {
 	PrefetchIssued    int
 	PrefetchCoalesced int
 	PrefetchWasted    int
+
+	// Cancelled counts queries that returned a context error: ones that hit
+	// the engine's per-query timeout (EngineOptions.QueryTimeout — counted
+	// and skipped, the batch continues) and ones aborted by the batch
+	// context going away. BudgetExceeded counts queries stopped by
+	// WithPageBudget; their partial results are kept and the batch
+	// continues.
+	Cancelled      int
+	BudgetExceeded int
 }
 
 // EngineOptions configures a QueryEngine.
 type EngineOptions struct {
 	// Workers bounds the query fan-out (0 → runtime.GOMAXPROCS(0)).
 	Workers int
+	// QueryTimeout, when > 0, bounds each query's wall time with its own
+	// context deadline (derived from the batch context). A timed-out query
+	// is counted in BatchStats.Cancelled and its result slot holds the
+	// partial results its deadline allowed (possibly none); the rest of
+	// the batch proceeds. Use the batch context's own deadline to bound
+	// the whole batch instead.
+	QueryTimeout time.Duration
 }
 
 // QueryEngine runs batches of queries concurrently against one shared
@@ -95,10 +113,11 @@ type EngineOptions struct {
 //	ct, _ := uncertain.NewConcurrentTree(uncertain.Config{Dimensions: 2})
 //	// ... load objects ...
 //	eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: 4})
-//	results, stats, err := eng.SearchBatch(queries)
+//	results, stats, err := eng.SearchBatch(ctx, queries)
 type QueryEngine struct {
-	idx     Index
-	workers int
+	idx          Index
+	workers      int
+	queryTimeout time.Duration
 }
 
 // NewQueryEngine builds an engine over idx.
@@ -107,29 +126,30 @@ func NewQueryEngine(idx Index, opt EngineOptions) *QueryEngine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &QueryEngine{idx: idx, workers: w}
+	return &QueryEngine{idx: idx, workers: w, queryTimeout: opt.QueryTimeout}
 }
 
 // Workers reports the configured fan-out bound.
 func (e *QueryEngine) Workers() int { return e.workers }
 
 // SearchBatch answers every query and returns per-query results (index i
-// answers queries[i]) plus aggregated stats. On the first query error the
-// batch stops and that error is returned.
-func (e *QueryEngine) SearchBatch(queries []RangeQuery) ([][]Result, BatchStats, error) {
+// answers queries[i]) plus aggregated stats. Per-query options apply to
+// every query of the batch. Budget-exceeded and per-query-timeout errors
+// are non-fatal (counted in BatchStats, the batch continues, partial
+// results are kept); the first other error — or the batch context going
+// away — cancels the remaining in-flight queries promptly and is returned
+// together with the results and stats of the work that did complete.
+func (e *QueryEngine) SearchBatch(ctx context.Context, queries []RangeQuery, opts ...QueryOption) ([][]Result, BatchStats, error) {
 	out := make([][]Result, len(queries))
 	perQuery := make([]Stats, len(queries))
-	stats, err := e.run(len(queries), func(i int) error {
-		res, st, err := e.idx.Search(queries[i].Rect, queries[i].Prob)
-		if err != nil {
-			return fmt.Errorf("uncertain: batch query %d: %w", i, err)
-		}
+	stats, err := e.run(ctx, len(queries), func(qctx context.Context, i int) error {
+		res, st, qerr := e.idx.Search(qctx, queries[i].Rect, queries[i].Prob, opts...)
 		out[i], perQuery[i] = res, st
+		if qerr != nil {
+			return fmt.Errorf("uncertain: batch query %d: %w", i, qerr)
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, BatchStats{}, err
-	}
 	var agg Stats
 	for i := range perQuery {
 		agg.Add(perQuery[i])
@@ -142,25 +162,26 @@ func (e *QueryEngine) SearchBatch(queries []RangeQuery) ([][]Result, BatchStats,
 	stats.PrefetchCoalesced = agg.PrefetchCoalesced
 	stats.PrefetchWasted = agg.PrefetchWasted
 	stats.finish()
+	if err != nil {
+		return out, stats, err
+	}
 	return out, stats, nil
 }
 
 // NNBatch answers every k-NN query (index i answers queries[i]) plus
 // aggregated stats; ProbComputations counts expected-distance evaluations.
-func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, error) {
+// Context, options and error semantics match SearchBatch.
+func (e *QueryEngine) NNBatch(ctx context.Context, queries []NNQuery, opts ...QueryOption) ([][]Neighbor, BatchStats, error) {
 	out := make([][]Neighbor, len(queries))
 	perQuery := make([]NNStats, len(queries))
-	stats, err := e.run(len(queries), func(i int) error {
-		res, st, err := e.idx.NearestNeighbors(queries[i].Point, queries[i].K)
-		if err != nil {
-			return fmt.Errorf("uncertain: batch query %d: %w", i, err)
-		}
+	stats, err := e.run(ctx, len(queries), func(qctx context.Context, i int) error {
+		res, st, qerr := e.idx.NearestNeighbors(qctx, queries[i].Point, queries[i].K, opts...)
 		out[i], perQuery[i] = res, st
+		if qerr != nil {
+			return fmt.Errorf("uncertain: batch query %d: %w", i, qerr)
+		}
 		return nil
 	})
-	if err != nil {
-		return nil, BatchStats{}, err
-	}
 	var agg NNStats
 	for i := range perQuery {
 		agg.Add(perQuery[i])
@@ -174,14 +195,23 @@ func (e *QueryEngine) NNBatch(queries []NNQuery) ([][]Neighbor, BatchStats, erro
 		stats.Results += len(out[i])
 	}
 	stats.finish()
+	if err != nil {
+		return out, stats, err
+	}
 	return out, stats, nil
 }
 
 // run fans n tasks across the worker pool and times the batch — both
 // end-to-end and per query, for the latency percentiles. Workers pull
-// indices from a shared counter; the first error latches, the workers exit,
-// and any unstarted tasks are abandoned.
-func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
+// indices from a shared counter. The batch context is propagated into
+// every query, so the first fatal error cancels the in-flight queries
+// mid-traversal instead of letting them run to completion (the old engine
+// only stopped *unstarted* tasks); budget and per-query-timeout errors are
+// counted and skipped.
+func (e *QueryEngine) run(ctx context.Context, n int, task func(ctx context.Context, i int) error) (BatchStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	h0, m0 := e.idx.CacheStats()
 	start := time.Now()
 
@@ -189,14 +219,23 @@ func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
 	if workers > n {
 		workers = n
 	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	durations := make([]time.Duration, n)
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
+		next      atomic.Int64
+		failed    atomic.Bool
+		errOnce   sync.Once
+		firstErr  error
+		cancelled atomic.Int64
+		budget    atomic.Int64
+		wg        sync.WaitGroup
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+		cancel() // abort the sibling workers' in-flight queries
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -206,37 +245,68 @@ func (e *QueryEngine) run(n int, task func(i int) error) (BatchStats, error) {
 				if i >= n {
 					return
 				}
+				qctx := bctx
+				qcancel := context.CancelFunc(func() {})
+				if e.queryTimeout > 0 {
+					qctx, qcancel = context.WithTimeout(bctx, e.queryTimeout)
+				}
 				qStart := time.Now()
-				err := task(i)
+				err := task(qctx, i)
+				qcancel()
 				durations[i] = time.Since(qStart)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
+				// Classify by the error's identity, not by context state: a
+				// genuine failure that happens to return after a deadline
+				// expired must still fail the batch, not be miscounted as a
+				// timeout.
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrBudgetExceeded):
+					budget.Add(1)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					cancelled.Add(1)
+					if ctx.Err() != nil {
+						// The caller's context is gone: the whole batch stops.
+						fail(ctx.Err())
+						return
+					}
+					// Per-query deadline, or a sibling worker's fail()
+					// cancelling bctx; count it and let the loop condition
+					// decide whether to continue.
+				default:
+					fail(err)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return BatchStats{}, firstErr
-	}
 
 	h1, m1 := e.idx.CacheStats()
 	stats := BatchStats{
-		Queries:     n,
-		Workers:     workers,
-		WallTime:    time.Since(start),
-		CacheHits:   h1 - h0,
-		CacheMisses: m1 - m0,
+		Queries:        n,
+		Workers:        workers,
+		WallTime:       time.Since(start),
+		CacheHits:      h1 - h0,
+		CacheMisses:    m1 - m0,
+		Cancelled:      int(cancelled.Load()),
+		BudgetExceeded: int(budget.Load()),
 	}
-	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
-	stats.P50Latency = percentile(durations, 50)
-	stats.P95Latency = percentile(durations, 95)
-	if n > 0 {
-		stats.MaxLatency = durations[n-1]
+	// Percentiles cover only the queries that actually ran: on an aborted
+	// batch the never-started tasks' zero durations would otherwise drag
+	// P50/P95 to zero in the partial stats returned with the error.
+	ran := durations[:0]
+	for _, d := range durations {
+		if d > 0 {
+			ran = append(ran, d)
+		}
 	}
-	return stats, nil
+	sort.Slice(ran, func(a, b int) bool { return ran[a] < ran[b] })
+	stats.P50Latency = percentile(ran, 50)
+	stats.P95Latency = percentile(ran, 95)
+	if len(ran) > 0 {
+		stats.MaxLatency = ran[len(ran)-1]
+	}
+	return stats, firstErr
 }
 
 // percentile returns the nearest-rank p-th percentile of an ascending

@@ -1,6 +1,8 @@
 package uncertain
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/updf"
 )
@@ -31,9 +33,12 @@ type Neighbor = core.NNResult
 type NNStats = core.NNStats
 
 // NearestNeighbors returns the k objects with the smallest expected
-// distance E[dist(o, q)] to the query point, ascending.
-func (t *Tree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
-	return t.inner.NearestNeighbors(q, k)
+// distance E[dist(o, q)] to the query point, ascending. It honors ctx and
+// the per-query options under the same contract as Search (WithLimit caps
+// k; a cancelled traversal returns the neighbors found so far with
+// ctx.Err()).
+func (t *Tree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error) {
+	return t.inner.NearestNeighborsCtx(ctx, q, k, resolveOptions(opts))
 }
 
 // BulkLoad builds the index bottom-up (STR packing) from a batch of

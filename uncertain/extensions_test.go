@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestFacadeNearestNeighbors(t *testing.T) {
 	for i := int64(0); i < 10; i++ {
 		tree.Insert(i, UniformCircle(Pt(float64(i)*100+50, 50), 10))
 	}
-	nns, stats, err := tree.NearestNeighbors(Pt(0, 50), 3)
+	nns, stats, err := tree.NearestNeighbors(context.Background(), Pt(0, 50), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestFacadeBulkLoad(t *testing.T) {
 	if err := tree.Delete(7); err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := tree.Search(Box(Pt(-10, -10), Pt(1010, 1010)), 0.5)
+	res, _, err := tree.Search(context.Background(), Box(Pt(-10, -10), Pt(1010, 1010)), 0.5)
 	if err != nil || len(res) != 399 {
 		t.Fatalf("search after bulk+delete: %v, %d results", err, len(res))
 	}
@@ -73,12 +74,12 @@ func TestFacadePolygonAndMixture(t *testing.T) {
 	}, []float64{1, 1})
 	tree.Insert(1, poly)
 	tree.Insert(2, mix)
-	res, _, err := tree.Search(Box(Pt(-10, -10), Pt(300, 300)), 0.9)
+	res, _, err := tree.Search(context.Background(), Box(Pt(-10, -10), Pt(300, 300)), 0.9)
 	if err != nil || len(res) != 2 {
 		t.Fatalf("search: %v, %d results", err, len(res))
 	}
 	// Half of the mixture: P = 0.5.
-	res, _, err = tree.Search(Box(Pt(150, 150), Pt(220, 250)), 0.6)
+	res, _, err = tree.Search(context.Background(), Box(Pt(150, 150), Pt(220, 250)), 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}

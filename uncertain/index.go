@@ -1,6 +1,9 @@
 package uncertain
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Index is the unified contract of every U-tree variant in this package:
 // the single-goroutine Tree, the lock-protected ConcurrentTree, and the
@@ -14,6 +17,14 @@ import "time"
 //   - ShardedTree: K independent ConcurrentTrees; queries fan out across
 //     all shards and overlap their page latencies, and a writer stalls
 //     only the one shard that owns the object.
+//
+// The query surface is context-first: every query takes a
+// context.Context for cancellation and deadlines (queries check it before
+// every page fetch and every refinement integration, so a cancelled query
+// returns within roughly one page latency) plus per-query QueryOptions
+// resolved into an immutable plan — precision, prefetch fan-out, result
+// limits and I/O budgets are per-query decisions, with no global mutator
+// and no lock taken to change them.
 type Index interface {
 	// Insert adds an object. IDs must be unique across the whole index.
 	Insert(id int64, pdf PDF) error
@@ -22,11 +33,14 @@ type Index interface {
 	// BulkLoad batch-builds an empty index bottom-up.
 	BulkLoad(objects map[int64]PDF) error
 	// Search answers a probabilistic range query: objects appearing in rect
-	// with probability ≥ prob.
-	Search(rect Rect, prob float64) ([]Result, Stats, error)
+	// with probability ≥ prob. A cancelled or deadline-exceeded ctx stops
+	// the traversal promptly with ctx.Err() and the partial results found
+	// so far; WithPageBudget stops it with ErrBudgetExceeded the same way.
+	Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error)
 	// NearestNeighbors returns the k objects with the smallest expected
-	// distance to q, ascending.
-	NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error)
+	// distance to q, ascending, under the same context and option contract
+	// as Search.
+	NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error)
 	// Len returns the number of indexed objects.
 	Len() int
 	// CacheStats reports cumulative buffer-pool hits and misses (summed
@@ -34,10 +48,19 @@ type Index interface {
 	CacheStats() (hits, misses int64)
 	// SetSimulatedPageLatency arms or disarms the simulated storage latency
 	// on every underlying store.
+	//
+	// Deprecated: set Config.SimulatedPageLatency when opening the index.
+	// The mutator remains for tooling that re-arms latency between build
+	// and measurement phases (utreectl, the experiment harness).
 	SetSimulatedPageLatency(d time.Duration)
-	// SetPrefetchWorkers re-arms the intra-query prefetch fan-out: how many
-	// async page fetches one query may have in flight (0 disables). Takes
-	// the writer lock(s), so in-flight queries finish first.
+	// SetPrefetchWorkers re-arms the index-wide default intra-query
+	// prefetch fan-out (0 disables). Takes the writer lock(s), so
+	// in-flight queries finish first.
+	//
+	// Deprecated: pass WithPrefetchWorkers to the query instead — it takes
+	// no lock and applies to that query only — or set
+	// Config.PrefetchWorkers when opening the index. The mutator remains
+	// as a shim over the per-open default.
 	SetPrefetchWorkers(n int)
 	// Flush writes buffered dirty pages through to the store(s).
 	Flush() error

@@ -1,0 +1,89 @@
+package uncertain
+
+import (
+	"repro/internal/core"
+)
+
+// This file is the per-query options surface of the context-first query
+// API. Search and NearestNeighbors accept functional options that are
+// resolved once, up front, into an immutable per-query plan — so queries
+// with different precision/latency trade-offs run concurrently on one
+// index without any global mutator (and without the writer-lock stall the
+// old SetPrefetchWorkers mutator paid). The per-query precision knobs
+// follow the probabilistic-pruning literature (Bernecker et al.), where
+// refinement effort is a query-time choice, not an index-time one.
+
+// ErrBudgetExceeded is returned by a query whose WithPageBudget ran out:
+// the traversal performed exactly the budgeted number of physical page
+// fetches and stopped. The partial results accompanying the error are
+// valid answers (every returned object truly qualifies); the set is just
+// incomplete. Test with errors.Is.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// QueryOption customizes one query. Options are applied in order; later
+// options override earlier ones. The zero option set reproduces the
+// index's configured behavior bit for bit.
+type QueryOption func(*queryPlan)
+
+// queryPlan accumulates the options before they are handed to the core
+// traversal as a resolved core.QueryOpts.
+type queryPlan struct {
+	o core.QueryOpts
+}
+
+// resolveOptions folds opts into the core per-query option block.
+func resolveOptions(opts []QueryOption) core.QueryOpts {
+	var p queryPlan
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&p)
+		}
+	}
+	return p.o
+}
+
+// WithMonteCarloSamples overrides Config.MonteCarloSamples for this query:
+// n1 of the refinement estimator (Equation 3). Lower is faster and
+// coarser, higher is slower and tighter — the per-query precision/latency
+// trade-off. n ≤ 0 is ignored (the index default applies).
+func WithMonteCarloSamples(n int) QueryOption {
+	return func(p *queryPlan) { p.o.MCSamples = n }
+}
+
+// WithExactRefinement overrides Config.ExactRefinement for this query:
+// when on, pdfs exposing a closed-form/quadrature probability oracle are
+// refined exactly instead of by Monte Carlo.
+func WithExactRefinement(on bool) QueryOption {
+	return func(p *queryPlan) { p.o.ExactSet, p.o.Exact = true, on }
+}
+
+// WithPrefetchWorkers overrides the intra-query prefetch fan-out for this
+// query only: how many async page fetches it may have in flight (n ≤ 0
+// disables prefetching for the query). Unlike the deprecated
+// SetPrefetchWorkers mutator this takes no lock and stalls no other query;
+// results are byte-identical whatever the fan-out. On a sharded index the
+// bound applies per shard.
+func WithPrefetchWorkers(n int) QueryOption {
+	return func(p *queryPlan) { p.o.PrefetchSet, p.o.Prefetch = true, n }
+}
+
+// WithLimit stops a range query after n results (a top-N early cut) and
+// caps k for NN queries. The cut is deterministic — a limited query
+// returns a prefix of the unlimited query's result sequence — but which
+// objects form that prefix depends on traversal order, and on a sharded
+// index each shard cuts at n before the ID-sorted merge truncates to n.
+// n ≤ 0 means unlimited.
+func WithLimit(n int) QueryOption {
+	return func(p *queryPlan) { p.o.Limit = n }
+}
+
+// WithPageBudget bounds the physical page fetches (buffer-pool misses plus
+// data-page reads) this query may perform; when the budget runs out the
+// query returns ErrBudgetExceeded together with the partial results and
+// stats gathered up to that point — after exactly n physical fetches. A
+// budgeted query runs without prefetching so the accounting is exact
+// (stats report the fetches in PagesFetched). On a sharded index the
+// budget applies per shard. n ≤ 0 means unlimited.
+func WithPageBudget(n int) QueryOption {
+	return func(p *queryPlan) { p.o.PageBudget = n }
+}

@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -24,7 +25,7 @@ func pipelineSearchAll(t *testing.T, idx Index, queries []RangeQuery) [][]Result
 	t.Helper()
 	out := make([][]Result, len(queries))
 	for i, q := range queries {
-		res, stats, err := idx.Search(q.Rect, q.Prob)
+		res, stats, err := idx.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestPipelinedStatsParity(t *testing.T) {
 
 	serial := make([]Stats, len(queries))
 	for i, q := range queries {
-		_, serial[i], err = ct.Search(q.Rect, q.Prob)
+		_, serial[i], err = ct.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestPipelinedStatsParity(t *testing.T) {
 	ct.SetPrefetchWorkers(4)
 	issued := 0
 	for i, q := range queries {
-		_, st, err := ct.Search(q.Rect, q.Prob)
+		_, st, err := ct.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func TestPipelinedShardedEquivalence(t *testing.T) {
 	}
 	want := make([][]Result, len(queries))
 	for i, q := range queries {
-		res, _, err := single.Search(q.Rect, q.Prob)
+		res, _, err := single.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func TestPipelinedNNEquivalence(t *testing.T) {
 	var want []nnAnswer
 	for _, p := range points {
 		for _, k := range []int{1, 5, 10} {
-			res, _, err := ct.NearestNeighbors(p, k)
+			res, _, err := ct.NearestNeighbors(context.Background(), p, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -230,7 +231,7 @@ func TestPipelinedNNEquivalence(t *testing.T) {
 		i := 0
 		for _, p := range points {
 			for _, k := range []int{1, 5, 10} {
-				res, stats, err := ct.NearestNeighbors(p, k)
+				res, stats, err := ct.NearestNeighbors(context.Background(), p, k)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -329,7 +330,7 @@ func TestPipelinedSearchUnderWriter(t *testing.T) {
 							if (i+pass)%4 != g {
 								continue
 							}
-							if _, _, err := idx.Search(q.Rect, q.Prob); err != nil {
+							if _, _, err := idx.Search(context.Background(), q.Rect, q.Prob); err != nil {
 								t.Errorf("goroutine %d: %v", g, err)
 								return
 							}

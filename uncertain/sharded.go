@@ -1,6 +1,8 @@
 package uncertain
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -113,7 +115,21 @@ func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
 // query concurrently (each under its own read lock, overlapping page
 // latencies), and the partial results are concatenated, sorted by ID, and
 // returned with the per-shard Stats merged.
-func (s *ShardedTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
+//
+// Cancellation fans out: cancelling ctx (or passing its deadline) stops
+// every shard's traversal, and the partial answers the shards had already
+// found are merged and returned together with ctx.Err() — the same
+// partial-result contract as a single tree. The first real shard error
+// cancels the sibling shards instead of letting them run to completion
+// and returns nothing. Per-shard page-budget exhaustion is likewise not
+// fatal to the fan-out — the shards' answers are merged and returned with
+// ErrBudgetExceeded.
+func (s *ShardedTree) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	partRes := make([][]Result, len(s.shards))
 	partStats := make([]Stats, len(s.shards))
 	errs := make([]error, len(s.shards))
@@ -122,11 +138,15 @@ func (s *ShardedTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			partRes[i], partStats[i], errs[i] = s.shards[i].Search(rect, prob)
+			partRes[i], partStats[i], errs[i] = s.shards[i].Search(sctx, rect, prob, opts...)
+			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) {
+				cancel() // first real failure stops the sibling shards
+			}
 		}(i)
 	}
 	wg.Wait()
-	if err := s.firstError(errs); err != nil {
+	softErr, err := s.gatherError(ctx, errs)
+	if err != nil {
 		return nil, Stats{}, err
 	}
 	var out []Result
@@ -136,14 +156,23 @@ func (s *ShardedTree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
 		stats.Add(partStats[i])
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	return out, stats, nil
+	if p := resolveOptions(opts); p.Limit > 0 && len(out) > p.Limit {
+		out = out[:p.Limit]
+	}
+	return out, stats, softErr
 }
 
 // NearestNeighbors scatter-gathers an expected-distance k-NN query: each
 // shard reports its own top k concurrently, and the k-way merge keeps the
 // k globally smallest expected distances. The merge is exact — an object
-// in the global top k is necessarily in its own shard's top k.
-func (s *ShardedTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, error) {
+// in the global top k is necessarily in its own shard's top k. See Search
+// for the cancellation and budget fan-out semantics.
+func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	partRes := make([][]Neighbor, len(s.shards))
 	partStats := make([]NNStats, len(s.shards))
 	errs := make([]error, len(s.shards))
@@ -152,11 +181,15 @@ func (s *ShardedTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, err
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			partRes[i], partStats[i], errs[i] = s.shards[i].NearestNeighbors(q, k)
+			partRes[i], partStats[i], errs[i] = s.shards[i].NearestNeighbors(sctx, q, k, opts...)
+			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) {
+				cancel()
+			}
 		}(i)
 	}
 	wg.Wait()
-	if err := s.firstError(errs); err != nil {
+	softErr, err := s.gatherError(ctx, errs)
+	if err != nil {
 		return nil, NNStats{}, err
 	}
 	var merged []Neighbor
@@ -171,10 +204,48 @@ func (s *ShardedTree) NearestNeighbors(q Point, k int) ([]Neighbor, NNStats, err
 		}
 		return merged[a].ID < merged[b].ID // deterministic tie-break
 	})
+	if p := resolveOptions(opts); p.Limit > 0 && p.Limit < k {
+		k = p.Limit
+	}
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged, stats, nil
+	return merged, stats, softErr
+}
+
+// gatherError classifies the per-shard errors of one scatter-gather into a
+// soft error — budget exhaustion or the caller's cancellation, where the
+// shards' partial answers are still merged and returned alongside the
+// error, honoring the Index contract — and a fatal one (any real shard
+// failure), where nothing is returned. Context errors are reported bare so
+// callers can match them with errors.Is against context.Canceled /
+// DeadlineExceeded, and a real shard error wins over the context errors
+// its cancel() induced on the sibling shards; cancellation wins over
+// budget exhaustion.
+func (s *ShardedTree) gatherError(ctx context.Context, errs []error) (soft, fatal error) {
+	var budgetErr, ctxErr error
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrBudgetExceeded):
+			if budgetErr == nil {
+				budgetErr = fmt.Errorf("uncertain: shard %d: %w", i, err)
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		default:
+			return nil, fmt.Errorf("uncertain: shard %d: %w", i, err)
+		}
+	}
+	if ctxErr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr, nil // the caller's context, not a sibling-induced cancel
+		}
+		return ctxErr, nil
+	}
+	return budgetErr, nil
 }
 
 // Len sums the object counts over all shards.
@@ -198,15 +269,21 @@ func (s *ShardedTree) CacheStats() (hits, misses int64) {
 
 // SetSimulatedPageLatency re-arms the simulated storage latency on every
 // shard; safe to call concurrently with queries.
+//
+// Deprecated: set Config.SimulatedPageLatency when opening the index; the
+// mutator remains for build-then-measure tooling.
 func (s *ShardedTree) SetSimulatedPageLatency(d time.Duration) {
 	for _, sh := range s.shards {
 		sh.SetSimulatedPageLatency(d)
 	}
 }
 
-// SetPrefetchWorkers re-arms the intra-query prefetch fan-out on every
-// shard. Note the bound is per shard: a scatter-gathered query may have up
-// to n×K fetches in flight across K shards.
+// SetPrefetchWorkers re-arms the default intra-query prefetch fan-out on
+// every shard. Note the bound is per shard: a scatter-gathered query may
+// have up to n×K fetches in flight across K shards.
+//
+// Deprecated: pass WithPrefetchWorkers per query (lock-free, per-query
+// scope) or set Config.PrefetchWorkers at open time.
 func (s *ShardedTree) SetPrefetchWorkers(n int) {
 	for _, sh := range s.shards {
 		sh.SetPrefetchWorkers(n)

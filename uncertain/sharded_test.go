@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -61,7 +62,7 @@ func TestShardedSingleEquivalence(t *testing.T) {
 	}
 	want := make([][]Result, len(queries))
 	for i, q := range queries {
-		res, _, err := single.Search(q.Rect, q.Prob)
+		res, _, err := single.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestShardedSingleEquivalence(t *testing.T) {
 			t.Fatalf("%d shards: invariants after BulkLoad: %v", shards, err)
 		}
 		for i, q := range queries {
-			res, stats, err := st.Search(q.Rect, q.Prob)
+			res, stats, err := st.Search(context.Background(), q.Rect, q.Prob)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -151,11 +152,11 @@ func TestShardedNNMatchesSingle(t *testing.T) {
 	for i := 0; i < 24; i++ {
 		q := Pt(rng.Float64()*1000, rng.Float64()*1000)
 		k := 1 + rng.Intn(8)
-		want, _, err := single.NearestNeighbors(q, k)
+		want, _, err := single.NearestNeighbors(context.Background(), q, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, stats, err := st.NearestNeighbors(q, k)
+		got, stats, err := st.NearestNeighbors(context.Background(), q, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,14 +266,14 @@ func TestEngineOverShardedTree(t *testing.T) {
 
 	serial := make([][]Result, len(queries))
 	for i, q := range queries {
-		res, _, err := st.Search(q.Rect, q.Prob)
+		res, _, err := st.Search(context.Background(), q.Rect, q.Prob)
 		if err != nil {
 			t.Fatal(err)
 		}
 		serial[i] = res
 	}
 	eng := NewQueryEngine(st, EngineOptions{Workers: 4})
-	batch, stats, err := eng.SearchBatch(queries)
+	batch, stats, err := eng.SearchBatch(context.Background(), queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestShardedMixedOpsStress(t *testing.T) {
 					errs <- fmt.Errorf("worker %d insert: %w", w, err)
 					return
 				}
-				if _, _, err := st.Search(Box(Pt(0, 0), Pt(500, 500)), 0.5); err != nil {
+				if _, _, err := st.Search(context.Background(), Box(Pt(0, 0), Pt(500, 500)), 0.5); err != nil {
 					errs <- fmt.Errorf("worker %d search: %w", w, err)
 					return
 				}
@@ -327,7 +328,7 @@ func TestShardedMixedOpsStress(t *testing.T) {
 					}
 				}
 				if i%7 == 0 {
-					if _, _, err := st.NearestNeighbors(Pt(rng.Float64()*1000, rng.Float64()*1000), 3); err != nil {
+					if _, _, err := st.NearestNeighbors(context.Background(), Pt(rng.Float64()*1000, rng.Float64()*1000), 3); err != nil {
 						errs <- fmt.Errorf("worker %d nn: %w", w, err)
 						return
 					}

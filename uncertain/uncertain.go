@@ -13,12 +13,16 @@
 //
 //	tree, _ := uncertain.NewTree(uncertain.Config{Dimensions: 2})
 //	tree.Insert(1, uncertain.UniformCircle(uncertain.Pt(300, 400), 25))
-//	results, _, _ := tree.Search(uncertain.Box(uncertain.Pt(250, 350), uncertain.Pt(350, 450)), 0.8)
+//	results, _, _ := tree.Search(context.Background(),
+//		uncertain.Box(uncertain.Pt(250, 350), uncertain.Pt(350, 450)), 0.8)
 //
-// See examples/ for complete programs.
+// Queries take a context (cancellation, deadlines) and per-query options
+// (WithMonteCarloSamples, WithLimit, WithPageBudget, ...); see the
+// QueryOption docs and examples/ for complete programs.
 package uncertain
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -225,26 +229,36 @@ func (t *Tree) DeleteWithRegion(id int64, regionMBR Rect) error {
 }
 
 // Search answers a probabilistic range query: the objects appearing in
-// rect with probability ≥ prob (prob in (0, 1]).
-func (t *Tree) Search(rect Rect, prob float64) ([]Result, Stats, error) {
-	return t.inner.RangeQuery(core.Query{Rect: rect, Prob: prob})
+// rect with probability ≥ prob (prob in (0, 1]). The traversal checks ctx
+// before every page fetch and refinement integration, so cancellation and
+// deadlines take effect within roughly one page latency; on early exit
+// (ctx.Err(), or ErrBudgetExceeded under WithPageBudget) the results and
+// stats gathered so far are returned alongside the error.
+func (t *Tree) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
+	return t.inner.RangeQueryCtx(ctx, core.Query{Rect: rect, Prob: prob}, resolveOptions(opts))
 }
 
 // SetSimulatedPageLatency arms or disarms the simulated storage latency at
 // runtime — e.g. zero during a bulk build, then the target value for
 // measurement. Works on any tree built by NewTree/OpenTree, whatever the
 // Config started with.
+//
+// Deprecated: set Config.SimulatedPageLatency when opening the index; the
+// mutator remains for build-then-measure tooling.
 func (t *Tree) SetSimulatedPageLatency(d time.Duration) {
 	if t.latency != nil {
 		t.latency.SetDelays(d, d)
 	}
 }
 
-// SetPrefetchWorkers re-arms the intra-query prefetch fan-out at runtime
-// (0 disables): how many async page fetches one query may have in flight.
-// Like the tree's other mutators it must not run concurrently with
-// queries; ConcurrentTree and ShardedTree serialize it behind their writer
-// locks.
+// SetPrefetchWorkers re-arms the default intra-query prefetch fan-out at
+// runtime (0 disables): how many async page fetches one query may have in
+// flight when it passes no WithPrefetchWorkers option. Like the tree's
+// other mutators it must not run concurrently with queries; ConcurrentTree
+// and ShardedTree serialize it behind their writer locks.
+//
+// Deprecated: pass WithPrefetchWorkers per query (lock-free, per-query
+// scope) or set Config.PrefetchWorkers at open time.
 func (t *Tree) SetPrefetchWorkers(n int) { t.inner.SetPrefetchWorkers(n) }
 
 // Flush writes every buffered dirty page through to the store. Useful

@@ -1,6 +1,7 @@
 package uncertain
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -25,7 +26,7 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 
 	// Query covering object 1 entirely: must validate it.
-	res, stats, err := tree.Search(Box(Pt(250, 350), Pt(350, 450)), 0.8)
+	res, stats, err := tree.Search(context.Background(), Box(Pt(250, 350), Pt(350, 450)), 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,14 +40,14 @@ func TestQuickstartFlow(t *testing.T) {
 	// Query covering half of object 1: P = 0.5, threshold 0.6 fails,
 	// threshold 0.4 qualifies.
 	half := Box(Pt(250, 350), Pt(300, 450))
-	res, _, err = tree.Search(half, 0.6)
+	res, _, err = tree.Search(context.Background(), half, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res) != 0 {
 		t.Fatalf("P=0.5 object returned at pq=0.6: %+v", res)
 	}
-	res, _, err = tree.Search(half, 0.4)
+	res, _, err = tree.Search(context.Background(), half, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestAllConstructors(t *testing.T) {
 			t.Fatalf("pdf %d: %v", i, err)
 		}
 	}
-	res, _, err := tree.Search(Box(Pt(0, 0), Pt(1000, 1000)), 0.9)
+	res, _, err := tree.Search(context.Background(), Box(Pt(0, 0), Pt(1000, 1000)), 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestFileBackedRoundTrip(t *testing.T) {
 		}
 	}
 	probe := Box(Pt(200, 200), Pt(600, 600))
-	want, _, err := tree.Search(probe, 0.5)
+	want, _, err := tree.Search(context.Background(), probe, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestFileBackedRoundTrip(t *testing.T) {
 	if re.Len() != 300 {
 		t.Fatalf("reopened Len = %d", re.Len())
 	}
-	got, _, err := re.Search(probe, 0.5)
+	got, _, err := re.Search(context.Background(), probe, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestUPCRVariant(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, _, err := tree.Search(Box(Pt(-10, -10), Pt(510, 510)), 0.9)
+	res, _, err := tree.Search(context.Background(), Box(Pt(-10, -10), Pt(510, 510)), 0.9)
 	if err != nil || len(res) != 100 {
 		t.Fatalf("UPCR search: %v, %d results", err, len(res))
 	}
