@@ -11,6 +11,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -308,12 +309,13 @@ func BenchmarkFig9SearchPrefetch(b *testing.B) {
 	for _, prefetch := range []int{0, 2, 4, 8} {
 		b.Run("prefetch="+itoa(prefetch), func(b *testing.B) {
 			ct, queries := parallelBenchFixture(b)
-			ct.SetPrefetchWorkers(prefetch)
-			defer ct.SetPrefetchWorkers(0) // shared fixture: restore serial
+			// The per-query option replaces the removed SetPrefetchWorkers
+			// mutator: the shared fixture needs no restore step.
+			opt := uncertain.WithPrefetchWorkers(prefetch)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				if _, _, err := ct.Search(context.Background(), q.Rect, q.Prob); err != nil {
+				if _, _, err := ct.Search(context.Background(), q.Rect, q.Prob, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -346,7 +348,9 @@ func BenchmarkFig9SearchSharded(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			idx.SetSimulatedPageLatency(2_000_000) // 2ms in ns
+			if !experiments.ArmLatency(idx, 2*time.Millisecond) {
+				b.Fatalf("index %T does not support simulated latency", idx)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]

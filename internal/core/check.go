@@ -20,6 +20,13 @@ import (
 //
 // It returns the first violation found, or nil.
 func (t *Tree) CheckInvariants() error {
+	return t.checkTreeAt(t.rootPage, t.rootLevel, t.size)
+}
+
+// checkTreeAt validates the tree rooted at the given page against the
+// given expected root level and object count — shared by the working-state
+// check above and Snapshot.CheckInvariants (pinned epochs).
+func (t *Tree) checkTreeAt(rootPage pagefile.PageID, rootLevel, size int) error {
 	total := 0
 	var check func(page pagefile.PageID, isRoot bool, wantLevel int) ([]geom.Rect, error)
 	check = func(page pagefile.PageID, isRoot bool, wantLevel int) ([]geom.Rect, error) {
@@ -71,11 +78,11 @@ func (t *Tree) CheckInvariants() error {
 		}
 		return t.nodeBoundary(n), nil
 	}
-	if _, err := check(t.rootPage, true, t.rootLevel); err != nil {
+	if _, err := check(rootPage, true, rootLevel); err != nil {
 		return err
 	}
-	if total != t.size {
-		return fmt.Errorf("core: size %d but %d leaf entries", t.size, total)
+	if total != size {
+		return fmt.Errorf("core: size %d but %d leaf entries", size, total)
 	}
 	return nil
 }

@@ -34,9 +34,11 @@ func (t *Tree) Delete(id int64, mbr geom.Rect) error {
 	if err := t.condense(leaf, path); err != nil {
 		return err
 	}
-	if err := t.data.Delete(addr); err != nil {
-		return err
-	}
+	// Tombstoning the data record is deferred to the epoch GC: a snapshot
+	// pinned before this delete commits still holds a leaf entry pointing
+	// at the record and must be able to refine it. The hook runs once no
+	// such snapshot remains.
+	t.vs.Deferred(func() error { return t.data.Delete(addr) })
 	t.size--
 
 	t.deleteStats.Ops++
@@ -107,6 +109,7 @@ func (t *Tree) condense(n *node, path []pathElem) error {
 			}
 		} else if len(n.entries) > 0 {
 			parent.n.entries[parent.childIdx].boxes = t.nodeBoundary(n)
+			parent.n.entries[parent.childIdx].child = n.page // COW may have moved n
 		}
 		if err := t.writeNode(parent.n); err != nil {
 			return err

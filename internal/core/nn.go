@@ -110,8 +110,14 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error
 // incomplete) neighbors found so far. QueryOpts.Limit caps k;
 // QueryOpts.PageBudget stops the traversal with ErrBudgetExceeded after
 // exactly that many physical page fetches. With a zero QueryOpts, results
-// are byte-identical to NearestNeighbors.
-func (t *Tree) NearestNeighborsCtx(ctx context.Context, q geom.Point, k int, o QueryOpts) (best []NNResult, stats NNStats, err error) {
+// are byte-identical to NearestNeighbors. It runs against the working
+// root; Snapshot.NearestNeighbors runs the same traversal against a
+// pinned epoch.
+func (t *Tree) NearestNeighborsCtx(ctx context.Context, q geom.Point, k int, o QueryOpts) ([]NNResult, NNStats, error) {
+	return t.nearestNeighborsAt(t.rootPage, ctx, q, k, o)
+}
+
+func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q geom.Point, k int, o QueryOpts) (best []NNResult, stats NNStats, err error) {
 	if len(q) != t.dim {
 		return nil, stats, fmt.Errorf("core: query point dim %d, tree dim %d", len(q), t.dim)
 	}
@@ -131,7 +137,7 @@ func (t *Tree) NearestNeighborsCtx(ctx context.Context, q geom.Point, k int, o Q
 		return best, stats, err
 	}
 
-	pq := &nnHeap{{lb: 0, isNode: true, page: t.rootPage}}
+	pq := &nnHeap{{lb: 0, isNode: true, page: root}}
 	heap.Init(pq)
 
 	worst := math.Inf(1)

@@ -36,9 +36,29 @@ func (t *Tree) readNodeMiss(id pagefile.PageID) (*node, bool, error) {
 	return n, miss, err
 }
 
-// writeNode serializes a node back to its page.
+// writeNode serializes a node to its page — copy-on-write: a node whose
+// page was live at the last commit is relocated to a fresh shadow page
+// (the old page stays byte-intact for pinned snapshots and is reclaimed by
+// the epoch GC once no snapshot can reference it). Callers must propagate
+// n.page into the parent entry afterwards (refreshPath, split and condense
+// do); the root's relocation updates t.rootPage here. A page allocated
+// since the last commit is rewritten in place.
 func (t *Tree) writeNode(n *node) error {
 	t.nodeWrites.Add(1)
+	if !t.vs.Writable(n.page) {
+		old := n.page
+		id, err := t.store.Alloc()
+		if err != nil {
+			return fmt.Errorf("core: shadowing node %d: %w", old, err)
+		}
+		n.page = id
+		if old == t.rootPage {
+			t.rootPage = id
+		}
+		if err := t.vs.Free(old); err != nil {
+			return fmt.Errorf("core: retiring node %d: %w", old, err)
+		}
+	}
 	buf := make([]byte, pagefile.PageSize)
 	if err := t.encodeNode(n, buf); err != nil {
 		return err
@@ -58,10 +78,11 @@ func (t *Tree) allocNode(level int) (*node, error) {
 	return &node{page: id, level: level}, nil
 }
 
-// freeNode releases a node's page.
+// freeNode releases a node's page: immediately when the page is a shadow
+// of the open batch, deferred to the epoch GC when it was committed — a
+// pinned snapshot may still descend into it.
 func (t *Tree) freeNode(n *node) error {
-	t.pool.Invalidate(n.page)
-	return t.store.Free(n.page)
+	return t.vs.Free(n.page)
 }
 
 func (t *Tree) encodeNode(n *node, buf []byte) error {

@@ -13,15 +13,18 @@ import (
 // be closed and reopened. Layout (little endian):
 //
 //	magic u32 | kind u8 | dim u8 | catalog u16 |
-//	rootPage u32 | rootLevel u32 | size u64 | dataPage u32
+//	rootPage u32 | rootLevel u32 | size u64 | dataPage u32 | epoch u64
+//
+// The metadata page is the commit point of the shadow-paging scheme: it is
+// the only page (besides slotted data pages) ever rewritten in place, and
+// it is written only after every page of the epoch it names is durable.
 const metaMagic = 0x55545231 // "UTR1"
 
-// SaveMeta flushes the buffer pool and persists the tree metadata to the
-// given page (allocate one with AllocMetaPage before first use).
-func (t *Tree) SaveMeta(page pagefile.PageID) error {
-	if err := t.pool.Flush(); err != nil {
-		return err
-	}
+// writeMeta serializes the tree's working state to the metadata page. The
+// caller is responsible for flushing the buffer pool first (CommitWithMeta
+// does); the page is exempted from the copy-on-write check because
+// rewriting it in place is exactly how an epoch becomes the committed one.
+func (t *Tree) writeMeta(page pagefile.PageID) error {
 	buf := make([]byte, pagefile.PageSize)
 	binary.LittleEndian.PutUint32(buf[0:], metaMagic)
 	buf[4] = byte(t.kind)
@@ -31,7 +34,16 @@ func (t *Tree) SaveMeta(page pagefile.PageID) error {
 	binary.LittleEndian.PutUint32(buf[12:], uint32(t.rootLevel))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(t.size))
 	binary.LittleEndian.PutUint32(buf[24:], uint32(t.data.CurrentPage()))
+	binary.LittleEndian.PutUint64(buf[28:], t.vs.Epoch()+1) // the epoch this write commits
+	t.vs.MarkInPlace(page)
 	return t.store.Write(page, buf)
+}
+
+// SaveMeta commits the tree through the given metadata page (allocate one
+// with AllocMetaPage before first use): flush, metadata write, epoch
+// publication — see CommitWithMeta.
+func (t *Tree) SaveMeta(page pagefile.PageID) error {
+	return t.CommitWithMeta(page)
 }
 
 // AllocMetaPage reserves a page for metadata on a fresh store; call before
@@ -40,9 +52,12 @@ func (t *Tree) AllocMetaPage() (pagefile.PageID, error) {
 	return t.store.Alloc()
 }
 
-// Open reconstructs a Tree from a store and its metadata page. Runtime
-// options (buffering, refinement) come from opt; structural fields (kind,
-// dim, catalog) come from the metadata.
+// Open reconstructs a Tree from a store and its metadata page — after a
+// clean close or a crash: the metadata names the last committed epoch, and
+// since committed pages are never overwritten in place, that epoch's tree
+// is intact whatever partial shadow writes a dying process left behind.
+// Runtime options (buffering, refinement) come from opt; structural fields
+// (kind, dim, catalog) come from the metadata.
 func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, error) {
 	buf := make([]byte, pagefile.PageSize)
 	if err := store.Read(metaPage, buf); err != nil {
@@ -70,19 +85,23 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 	if seed == 0 {
 		seed = 1
 	}
+	epoch := binary.LittleEndian.Uint64(buf[28:])
+	vs := pagefile.NewVersionedStore(store, epoch)
 	t := &Tree{
 		kind:    kind,
 		dim:     dim,
 		cat:     pcr.UniformCatalog(m),
-		store:   store,
+		store:   vs,
+		vs:      vs,
 		qcache:  pcr.NewQuantileCache(),
 		rng:     rand.New(rand.NewSource(seed)),
 		samples: samples,
 		exact:   opt.ExactRefinement,
 	}
 	t.seed = seed
-	t.SetPrefetchWorkers(opt.PrefetchWorkers)
-	t.pool = pagefile.NewBufferPool(store, bufPages)
+	t.setPrefetchWorkers(opt.PrefetchWorkers)
+	t.pool = pagefile.NewBufferPool(t.store, bufPages)
+	t.vs.AttachPool(t.pool)
 	t.leafCap, t.innerCap = capacities(kind, dim, m)
 	t.leafEntrySize, t.innerEntrySize = entrySizes(kind, dim, m)
 	t.minLeaf = max1(t.leafCap * 2 / 5)
@@ -93,6 +112,9 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 	t.rootPage = pagefile.PageID(binary.LittleEndian.Uint32(buf[8:]))
 	t.rootLevel = int(binary.LittleEndian.Uint32(buf[12:]))
 	t.size = int(binary.LittleEndian.Uint64(buf[16:]))
-	t.data = pagefile.OpenDataFileAt(store, pagefile.PageID(binary.LittleEndian.Uint32(buf[24:])))
+	t.data = pagefile.OpenDataFileAt(t.store, pagefile.PageID(binary.LittleEndian.Uint32(buf[24:])))
+	// Publish the recovered state as the committed epoch so snapshots work
+	// immediately and the first mutation copy-on-writes the recovered pages.
+	t.vs.SeedState(t.workingState())
 	return t, nil
 }

@@ -101,16 +101,18 @@ func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
 // logical stats are byte-identical to RangeQuery.
 func (t *Tree) RangeQueryCtx(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
 	p := t.resolvePlan(ctx, o)
-	return t.rangeQuery(q, t.rng, &p)
+	return t.rangeQuery(t.rootPage, q, t.rng, &p)
 }
 
-// RangeQueryRO is the read-only query entry point: it answers q without
-// touching any insert/delete state, so any number of goroutines may call
-// it concurrently — provided no writer (Insert/Delete/BulkLoad) runs at
-// the same time. ConcurrentTree enforces that exclusion with a
-// readers-writer lock. Its refinement sampler is seeded from (tree seed,
-// query), so Monte Carlo results are reproducible per query regardless of
-// scheduling or batch order (like ExpectedDistance's per-object seeding).
+// RangeQueryRO is the read-only query entry point: it answers q against
+// the working root without touching any insert/delete state, so any
+// number of goroutines may call it concurrently — provided no writer
+// (Insert/Delete/BulkLoad) runs at the same time. To read concurrently
+// WITH a writer, pin a Snapshot and query that instead: its epoch's pages
+// are immune to the writer's copy-on-write churn. The refinement sampler
+// is seeded from (tree seed, query), so Monte Carlo results are
+// reproducible per query regardless of scheduling or batch order (like
+// ExpectedDistance's per-object seeding).
 func (t *Tree) RangeQueryRO(q Query) ([]Result, QueryStats, error) {
 	return t.RangeQueryROCtx(context.Background(), q, QueryOpts{})
 }
@@ -119,7 +121,7 @@ func (t *Tree) RangeQueryRO(q Query) ([]Result, QueryStats, error) {
 // per-query options (see RangeQueryCtx for the cancellation contract).
 func (t *Tree) RangeQueryROCtx(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
 	p := t.resolvePlan(ctx, o)
-	return t.rangeQuery(q, rand.New(rand.NewSource(t.roSeed(q))), &p)
+	return t.rangeQuery(t.rootPage, q, rand.New(rand.NewSource(t.roSeed(q))), &p)
 }
 
 // roSeed derives a deterministic sampler seed from the tree seed and the
@@ -221,7 +223,7 @@ func (t *Tree) readDataPageVia(ses *pagefile.PrefetchSession, id pagefile.PageID
 // results and stats gathered so far. A page budget stops the query the
 // same way with ErrBudgetExceeded after exactly plan.budget physical
 // fetches, and a result limit cuts the query once that many results exist.
-func (t *Tree) rangeQuery(q Query, rng *rand.Rand, plan *qplan) (results []Result, stats QueryStats, err error) {
+func (t *Tree) rangeQuery(root pagefile.PageID, q Query, rng *rand.Rand, plan *qplan) (results []Result, stats QueryStats, err error) {
 	if err := validateQuery(t.dim, q); err != nil {
 		return nil, stats, err
 	}
@@ -249,7 +251,7 @@ func (t *Tree) rangeQuery(q Query, rng *rand.Rand, plan *qplan) (results []Resul
 	}
 	var cands []candidate
 
-	frontier := []pagefile.PageID{t.rootPage}
+	frontier := []pagefile.PageID{root}
 descent:
 	for len(frontier) > 0 {
 		if ses.nodes != nil && len(frontier) > 1 {

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// This file is the epoch surface of the tree: mutations build a
+// copy-on-write path from leaf to root (writeNode relocates committed
+// pages to shadow pages), Commit atomically publishes the new root as the
+// next epoch, and Snapshot pins a committed epoch for lock-free reads.
+// Writers still serialize among themselves; readers never wait on anyone.
+
+// treeState is the committed state published at each epoch: everything a
+// reader needs to traverse the tree as of that commit, and everything the
+// writer needs to roll a failed batch back.
+type treeState struct {
+	rootPage  pagefile.PageID
+	rootLevel int
+	size      int
+	dataPage  pagefile.PageID
+}
+
+func (t *Tree) workingState() *treeState {
+	return &treeState{
+		rootPage:  t.rootPage,
+		rootLevel: t.rootLevel,
+		size:      t.size,
+		dataPage:  t.data.CurrentPage(),
+	}
+}
+
+// Commit seals the open mutation batch: flushes the shadow pages through
+// the buffer pool, then atomically publishes the working root as the new
+// epoch. Readers pinning a snapshot before the commit keep the previous
+// epoch's pages; readers pinning after see the new tree. Pages the batch
+// retired are reclaimed once no older snapshot remains.
+func (t *Tree) Commit() error { return t.CommitWithMeta(pagefile.InvalidPage) }
+
+// CommitWithMeta is Commit plus a metadata-page write between the flush
+// and the epoch publication — the crash-consistency point for file-backed
+// trees: every page of the new epoch is durable before the metadata
+// switches to it, and the old epoch's pages were never overwritten in
+// place, so a crash at any operation boundary leaves the file recoverable
+// at the last committed epoch.
+func (t *Tree) CommitWithMeta(meta pagefile.PageID) error {
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	if meta != pagefile.InvalidPage {
+		if err := t.writeMeta(meta); err != nil {
+			return err
+		}
+	}
+	return t.vs.Commit(t.workingState())
+}
+
+// Rollback abandons the open mutation batch after a failed operation:
+// shadow pages are freed, deferred frees and tombstones are dropped (their
+// targets are still live in the last committed epoch), and the working
+// root/size/data state rewinds to the last commit. The tree remains
+// usable; the failed operation simply never happened.
+func (t *Tree) Rollback() error {
+	st, _ := t.committedState()
+	if st == nil {
+		return fmt.Errorf("core: rollback with no committed epoch")
+	}
+	t.rootPage = st.rootPage
+	t.rootLevel = st.rootLevel
+	t.size = st.size
+	t.data.SetCurrent(st.dataPage)
+	return t.vs.Rollback()
+}
+
+func (t *Tree) committedState() (*treeState, uint64) {
+	st := t.vs.State()
+	if st == nil {
+		return nil, 0
+	}
+	return st.(*treeState), t.vs.Epoch()
+}
+
+// Epoch returns the last committed epoch number.
+func (t *Tree) Epoch() uint64 { return t.vs.Epoch() }
+
+// CommittedLen returns the object count of the last committed epoch —
+// readable concurrently with a writer (whose in-progress batch is not yet
+// visible).
+func (t *Tree) CommittedLen() int {
+	st, _ := t.committedState()
+	if st == nil {
+		return 0
+	}
+	return st.size
+}
+
+// GCStats reports the epoch collector's state: committed epoch, live
+// snapshot pins, and pages awaiting reclamation.
+func (t *Tree) GCStats() (epoch uint64, pins int, pendingPages int) {
+	return t.vs.GCStats()
+}
+
+// Reclaim drains whatever retired pages and deferred tombstones the
+// current snapshot pins allow. Writer-side, like Commit.
+func (t *Tree) Reclaim() error { return t.vs.Reclaim() }
+
+// Snapshot is a pinned view of one committed epoch. Any number of
+// goroutines' snapshots coexist with each other and with the (single)
+// writer: the pages a snapshot can reach are never rewritten in place and
+// never recycled while the pin is held. Queries on a snapshot take no
+// lock; Close releases the pin (idempotent) — forgetting it retains the
+// epoch's retired pages until the tree closes.
+type Snapshot struct {
+	t       *Tree
+	st      *treeState
+	epoch   uint64
+	release func()
+}
+
+// Snapshot pins the current committed epoch.
+func (t *Tree) Snapshot() *Snapshot {
+	st, epoch, release := t.vs.Pin()
+	if st == nil {
+		// No commit yet (mid-construction); pin the working state — there
+		// are no concurrent readers before New returns.
+		return &Snapshot{t: t, st: t.workingState(), epoch: epoch, release: release}
+	}
+	return &Snapshot{t: t, st: st.(*treeState), epoch: epoch, release: release}
+}
+
+// Close releases the snapshot's pin. Idempotent.
+func (s *Snapshot) Close() { s.release() }
+
+// Epoch returns the pinned epoch number.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the object count at the pinned epoch.
+func (s *Snapshot) Len() int { return s.st.size }
+
+// RangeQuery answers a probabilistic range query against the pinned
+// epoch, lock-free. The refinement sampler is seeded from (tree seed,
+// query) exactly like RangeQueryRO, so results are reproducible per query
+// whatever the scheduling.
+func (s *Snapshot) RangeQuery(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
+	p := s.t.resolvePlan(ctx, o)
+	return s.t.rangeQuery(s.st.rootPage, q, rand.New(rand.NewSource(s.t.roSeed(q))), &p)
+}
+
+// NearestNeighbors answers an expected-distance k-NN query against the
+// pinned epoch, lock-free (per-object sampler seeding, as always).
+func (s *Snapshot) NearestNeighbors(ctx context.Context, q geom.Point, k int, o QueryOpts) ([]NNResult, NNStats, error) {
+	return s.t.nearestNeighborsAt(s.st.rootPage, ctx, q, k, o)
+}
+
+// CheckInvariants validates the pinned epoch's structure — usable while a
+// writer mutates the working tree, since the snapshot's pages are frozen.
+func (s *Snapshot) CheckInvariants() error {
+	return s.t.checkTreeAt(s.st.rootPage, s.st.rootLevel, s.st.size)
+}

@@ -71,7 +71,12 @@ type Tree struct {
 	dim  int
 	cat  pcr.Catalog
 
+	// store is the versioned (copy-on-write) view over the caller's page
+	// storage; vs is the same object with its epoch surface exposed. All
+	// tree I/O — node pages via the pool, data pages, metadata — goes
+	// through it.
 	store pagefile.Store
+	vs    *pagefile.VersionedStore
 	pool  *pagefile.BufferPool
 	data  *pagefile.DataFile
 
@@ -97,8 +102,8 @@ type Tree struct {
 	disableReinsert bool
 
 	// prefetch pipelines one query's independent page reads; nil when
-	// intra-query prefetching is disabled. Guarded by the same exclusion as
-	// the rest of the tree: SetPrefetchWorkers is a writer-side operation.
+	// intra-query prefetching is disabled. Fixed at open time (per-query
+	// overrides carry their own prefetcher), so queries read it freely.
 	prefetch *pagefile.Prefetcher
 
 	// Logical I/O counters (reset via ResetCounters). Atomic so the
@@ -151,11 +156,13 @@ func New(opt Options) (*Tree, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	vs := pagefile.NewVersionedStore(store, 0)
 	t := &Tree{
 		kind:    opt.Kind,
 		dim:     opt.Dim,
 		cat:     pcr.UniformCatalog(m),
-		store:   store,
+		store:   vs,
+		vs:      vs,
 		qcache:  pcr.NewQuantileCache(),
 		rng:     rand.New(rand.NewSource(seed)),
 		samples: samples,
@@ -165,9 +172,10 @@ func New(opt Options) (*Tree, error) {
 		disableReinsert: opt.DisableReinsert,
 	}
 	t.seed = seed
-	t.SetPrefetchWorkers(opt.PrefetchWorkers)
-	t.pool = pagefile.NewBufferPool(store, bufPages)
-	t.data = pagefile.NewDataFile(store)
+	t.setPrefetchWorkers(opt.PrefetchWorkers)
+	t.pool = pagefile.NewBufferPool(t.store, bufPages)
+	t.vs.AttachPool(t.pool)
+	t.data = pagefile.NewDataFile(t.store)
 	t.leafCap, t.innerCap = capacities(t.kind, t.dim, m)
 	t.leafEntrySize, t.innerEntrySize = entrySizes(t.kind, t.dim, m)
 	if t.leafCap < 4 || t.innerCap < 4 {
@@ -188,6 +196,11 @@ func New(opt Options) (*Tree, error) {
 	}
 	t.rootPage = root.page
 	t.rootLevel = 0
+	// Commit the empty tree as epoch 1 so snapshots exist from birth and
+	// the copy-on-write discipline applies to every later mutation.
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -254,10 +267,10 @@ func (t *Tree) NodeIO() (reads, writes int64) {
 // reporting in batch query stats.
 func (t *Tree) CacheStats() (hits, misses int64) { return t.pool.HitRate() }
 
-// SetPrefetchWorkers re-arms the intra-query prefetch fan-out (0 disables).
-// Like the tree's other mutators it must not run concurrently with queries;
-// ConcurrentTree serializes it behind the writer lock.
-func (t *Tree) SetPrefetchWorkers(n int) {
+// setPrefetchWorkers arms the default intra-query prefetch fan-out
+// (0 disables). Fixed at open time — per-query overrides go through
+// QueryOpts.Prefetch, which takes no tree state at all.
+func (t *Tree) setPrefetchWorkers(n int) {
 	if n <= 0 {
 		t.prefetch = nil
 		return
@@ -274,8 +287,15 @@ func (t *Tree) PrefetchWorkers() int {
 	return t.prefetch.Workers()
 }
 
-// Flush writes all buffered pages through to the store.
-func (t *Tree) Flush() error { return t.pool.Flush() }
+// Flush writes all buffered pages through to the store and drains
+// whatever retired pages the current snapshot pins allow (writer-side,
+// like Commit).
+func (t *Tree) Flush() error {
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	return t.vs.Reclaim()
+}
 
 // buildLeafEntry derives the leaf entry of an object: PCRs at the catalog
 // values, then CFBs (U-tree) or the PCR list itself (U-PCR).
@@ -485,12 +505,15 @@ func (t *Tree) nodeBoundary(n *node) []geom.Rect {
 }
 
 // refreshPath recomputes the parent entries' boxes bottom-up along the
-// descent path after child mutation.
+// descent path after child mutation, and refreshes the child page pointer
+// — copy-on-write relocates a rewritten child to a shadow page, so the
+// parent entry must follow it.
 func (t *Tree) refreshPath(path []pathElem, target *node) error {
 	child := target
 	for i := len(path) - 1; i >= 0; i-- {
 		pe := path[i]
 		pe.n.entries[pe.childIdx].boxes = t.nodeBoundary(child)
+		pe.n.entries[pe.childIdx].child = child.page
 		if err := t.writeNode(pe.n); err != nil {
 			return err
 		}
@@ -624,6 +647,7 @@ func (t *Tree) split(n *node, path []pathElem, reinserted map[int]bool) error {
 
 	parent := path[len(path)-1]
 	parent.n.entries[parent.childIdx].boxes = t.nodeBoundary(n)
+	parent.n.entries[parent.childIdx].child = n.page // COW may have moved n
 	parent.n.entries = append(parent.n.entries, entry{child: sib.page, boxes: t.nodeBoundary(sib)})
 	if len(parent.n.entries) <= t.innerCap {
 		if err := t.writeNode(parent.n); err != nil {

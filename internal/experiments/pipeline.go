@@ -64,11 +64,13 @@ func PipelineSweep(cfg Config, workers []int) ([]PipelineRow, error) {
 	var rows []PipelineRow
 	var baseline [][]uncertain.Result // captured at Workers = 0
 	for _, w := range workers {
-		idx, err := buildMixedIndex(1, cfg, objects)
+		// The index is rebuilt per row anyway, so the fan-out is an
+		// open-time knob (Config.PrefetchWorkers) — the removed
+		// SetPrefetchWorkers mutator is not missed.
+		idx, err := buildMixedIndex(1, w, cfg, objects)
 		if err != nil {
 			return nil, err
 		}
-		idx.SetPrefetchWorkers(w)
 		row, results, err := runPipelineRow(w, cfg, idx, queries)
 		closeErr := idx.Close()
 		if err != nil {
@@ -119,7 +121,9 @@ func runPipelineRow(w int, cfg Config, idx uncertain.Index, queries []uncertain.
 		results[i] = sortedByID(res)
 	}
 
-	idx.SetSimulatedPageLatency(cfg.IOLatency)
+	if !ArmLatency(idx, cfg.IOLatency) {
+		return row, nil, fmt.Errorf("index %T does not support simulated latency", idx)
+	}
 	start := time.Now()
 	for p := 0; p < mixedPasses; p++ {
 		for _, q := range queries {
@@ -149,7 +153,7 @@ func runPipelineRow(w int, cfg Config, idx uncertain.Index, queries []uncertain.
 	}
 	row.WriterQPS = float64(mixedPasses*len(queries)) / elapsed.Seconds()
 
-	idx.SetSimulatedPageLatency(0)
+	ArmLatency(idx, 0)
 	if err := idx.CheckInvariants(); err != nil {
 		return row, nil, fmt.Errorf("invariants after writer stream at prefetch=%d: %w", w, err)
 	}

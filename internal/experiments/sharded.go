@@ -74,7 +74,7 @@ func ShardedMixed(cfg Config, shardCounts []int) ([]ShardedRow, error) {
 	var rows []ShardedRow
 	var baseline [][]uncertain.Result // sorted by ID, captured at Shards = 1
 	for _, k := range shardCounts {
-		idx, err := buildMixedIndex(k, cfg, objects)
+		idx, err := buildMixedIndex(k, 0, cfg, objects)
 		if err != nil {
 			return nil, err
 		}
@@ -137,27 +137,49 @@ func mixedWorkload(cfg Config) (map[int64]uncertain.PDF, []uncertain.RangeQuery)
 // ConcurrentTree at shards = 1) with the sweep's divided page-cache
 // budget, and returns the Fig. 9 workload queries — the root benchmarks'
 // counterpart of BuildParallelFixture. The caller arms the measurement
-// latency via SetSimulatedPageLatency.
+// latency via ArmLatency.
 func BuildShardedFixture(cfg Config, shards int) (uncertain.Index, []uncertain.RangeQuery, error) {
 	cfg = cfg.withDefaults()
 	objects, queries := mixedWorkload(cfg)
-	idx, err := buildMixedIndex(shards, cfg, objects)
+	idx, err := buildMixedIndex(shards, 0, cfg, objects)
 	if err != nil {
 		return nil, nil, err
 	}
 	return idx, queries, nil
 }
 
+// latencyArmer is the build-then-measure tooling hook the concrete index
+// types keep now that the Index interface no longer carries the latency
+// mutator: experiments build at zero latency, then arm the measured value.
+type latencyArmer interface {
+	SetSimulatedPageLatency(time.Duration)
+}
+
+// ArmLatency re-arms the simulated per-page storage latency on an index
+// built by this package and reports whether the index actually supports
+// the hook. Callers must treat false as an error when d > 0: measuring a
+// "latency-bound" workload with the latency silently disarmed would
+// report CPU-bound throughput as if it were I/O-overlapped.
+func ArmLatency(idx uncertain.Index, d time.Duration) bool {
+	a, ok := idx.(latencyArmer)
+	if ok {
+		a.SetSimulatedPageLatency(d)
+	}
+	return ok
+}
+
 // buildMixedIndex constructs the index under test: a ConcurrentTree at
-// k = 1, a ShardedTree otherwise, bulk-loaded with the dataset. The
+// k = 1, a ShardedTree otherwise, bulk-loaded with the dataset; prefetch
+// arms the index-wide intra-query fan-out (per shard when k > 1). The
 // page-cache budget is divided across shards so every configuration caches
 // the same total number of pages.
-func buildMixedIndex(k int, cfg Config, objects map[int64]uncertain.PDF) (uncertain.Index, error) {
+func buildMixedIndex(k, prefetch int, cfg Config, objects map[int64]uncertain.PDF) (uncertain.Index, error) {
 	ucfg := uncertain.Config{
 		Dimensions:      dataset.LB.Dim(),
 		ExactRefinement: true, // deterministic probabilities → exact equivalence
 		Seed:            cfg.Seed,
 		BufferPages:     mixedBufferPagesPerShard(k),
+		PrefetchWorkers: prefetch,
 	}
 	var idx uncertain.Index
 	var err error
@@ -209,7 +231,9 @@ func runMixedRow(k int, cfg Config, idx uncertain.Index, queries []uncertain.Ran
 		results[i] = sortedByID(res)
 	}
 
-	idx.SetSimulatedPageLatency(cfg.IOLatency)
+	if !ArmLatency(idx, cfg.IOLatency) {
+		return row, nil, fmt.Errorf("index %T does not support simulated latency", idx)
+	}
 	writer := startWriterStream(idx, int64(1_000_000*(k+1)))
 
 	start := time.Now()
@@ -234,7 +258,7 @@ func runMixedRow(k int, cfg Config, idx uncertain.Index, queries []uncertain.Ran
 	// The index must be structurally sound after interleaving scatter
 	// queries with the writer stream (latency disarmed: the check walks
 	// every page).
-	idx.SetSimulatedPageLatency(0)
+	ArmLatency(idx, 0)
 	if err := idx.CheckInvariants(); err != nil {
 		return row, nil, fmt.Errorf("invariants after mixed load at %d shards: %w", k, err)
 	}

@@ -17,9 +17,11 @@ import (
 // goroutines may call Get/Put/Invalidate/Flush concurrently without
 // corrupting the pool. Get returns the pool's internal frame, shared with
 // other readers of the same page; callers that mutate a page (Put) or free
-// it (Invalidate) while another goroutine still reads its frame must
-// coordinate externally — a readers-writer lock around the tree, as
-// ConcurrentTree provides, is sufficient.
+// it (Invalidate) while another goroutine could still read its frame must
+// guarantee externally that no reader reaches that page. The tree does so
+// with the copy-on-write epoch discipline (VersionedStore): a writer only
+// Puts shadow pages no committed root references, and Invalidate runs only
+// on pages retired from every epoch a live snapshot pins.
 type BufferPool struct {
 	store  Store
 	shards []bufShard

@@ -51,6 +51,26 @@ func OpenDataFileAt(store Store, last PageID) *DataFile {
 // CurrentPage exposes the append page (persisted by index headers).
 func (df *DataFile) CurrentPage() PageID { return df.current }
 
+// SetCurrent rewinds the append page — the rollback path: a failed batch
+// may have advanced current to a page the rollback then frees, so the
+// writer restores the last committed append page. Records appended by the
+// failed batch stay as unreferenced slots; later appends go after them
+// (the slot directory lives in the page itself), so committed addresses
+// never change.
+func (df *DataFile) SetCurrent(id PageID) { df.current = id }
+
+// inPlaceMarker is implemented by VersionedStore: slotted data pages are
+// legitimately written in place (appends never move committed records,
+// tombstones only zero a slot length), so the data file exempts its pages
+// from the copy-on-write check.
+type inPlaceMarker interface{ MarkInPlace(id PageID) }
+
+func markInPlace(s Store, id PageID) {
+	if m, ok := s.(inPlaceMarker); ok {
+		m.MarkInPlace(id)
+	}
+}
+
 // Append stores rec and returns its address. Records larger than a page's
 // usable space are rejected.
 func (df *DataFile) Append(rec []byte) (DataAddr, error) {
@@ -102,6 +122,7 @@ func (df *DataFile) tryAppend(id PageID, buf, rec []byte) (DataAddr, bool, error
 	binary.LittleEndian.PutUint16(buf[dataHeader+4*count+2:], uint16(len(rec)))
 	binary.LittleEndian.PutUint16(buf[0:], uint16(count+1))
 	binary.LittleEndian.PutUint16(buf[2:], uint16(off))
+	markInPlace(df.store, id)
 	if err := df.store.Write(id, buf); err != nil {
 		return DataAddr{}, false, err
 	}
@@ -163,5 +184,6 @@ func (df *DataFile) Delete(addr DataAddr) error {
 		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, addr.Slot, count)
 	}
 	binary.LittleEndian.PutUint16(buf[dataHeader+4*int(addr.Slot)+2:], 0)
+	markInPlace(df.store, addr.Page)
 	return df.store.Write(addr.Page, buf)
 }

@@ -27,6 +27,12 @@ func NewFaultStore(inner Store, n int64) *FaultStore {
 // Arm resets the countdown.
 func (f *FaultStore) Arm(n int64) { f.failAfter.Store(n) }
 
+// Remaining reports the successful operations left before the fault fires
+// (< 0 when injection is disabled). A crash sweep uses it to detect that
+// the countdown outlived the operation under test — every offset has been
+// exercised.
+func (f *FaultStore) Remaining() int64 { return f.failAfter.Load() }
+
 func (f *FaultStore) tick() error {
 	for {
 		cur := f.failAfter.Load()

@@ -72,6 +72,15 @@ func (fs *FileStore) writeHeader() error {
 	return err
 }
 
+// Abort closes the file without writing the header — the crash-simulation
+// exit: the file keeps exactly the pages individual operations already
+// made durable, as if the process died.
+func (fs *FileStore) Abort() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.f.Close()
+}
+
 // Close flushes the header and closes the file.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()

@@ -227,8 +227,9 @@ func (s *PrefetchSession) ReadBatch(ids []PageID) ([][]byte, error) {
 // Drain waits for every in-flight fetch to land and returns the session's
 // stats, counting never-claimed fetches as wasted. It must be called
 // before the query returns — fetch goroutines touch the underlying pool
-// and store, and e.g. ConcurrentTree's read lock is only held for the
-// query's duration. The session must not be used after Drain.
+// and store, and a snapshot query's epoch pin (which keeps its pages from
+// being reclaimed and recycled) is released when the query returns. The
+// session must not be used after Drain.
 func (s *PrefetchSession) Drain() PrefetchStats {
 	s.wg.Wait()
 	s.mu.Lock()

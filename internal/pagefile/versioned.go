@@ -1,0 +1,355 @@
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// VersionedStore layers copy-on-write epoch semantics over a Store — the
+// storage half of snapshot isolation. The discipline it enforces:
+//
+//   - Pages allocated since the last commit ("fresh") are private to the
+//     writer and may be written in place; freeing one reclaims it
+//     immediately.
+//   - Pages that were live at the last commit are immutable: writing one is
+//     a COW violation (the tree must relocate the node to a fresh page),
+//     and freeing one is deferred — the page stays readable until every
+//     snapshot pinned at an epoch that could reference it has been
+//     released.
+//   - Commit seals the open batch: the batch's deferred frees become
+//     garbage of the new epoch, the fresh set resets, and an opaque
+//     committed-state handle (the tree's root/size record) is published
+//     atomically with the epoch bump. Pin returns that handle together
+//     with a release closure; a pinned epoch's pages are never recycled.
+//
+// Pages that are legitimately mutated in place — slotted data pages
+// (append-only record space) and the metadata page — are exempted via
+// MarkInPlace; everything else writing a committed page fails loudly with
+// ErrCOWViolation, which is the safety net that turns a missed relocation
+// into a test failure instead of silent snapshot corruption.
+//
+// Reclamation runs on the writer's side only (Commit, Reclaim, or the
+// owner's Flush/Close) so a reader releasing the last pin never pays the
+// physical free/tombstone I/O; until the next writer-side call the
+// garbage is merely retained, never lost.
+type VersionedStore struct {
+	inner Store
+	pool  *BufferPool // optional: invalidated on physical free
+
+	mu      sync.Mutex
+	epoch   uint64
+	state   any
+	pins    map[uint64]int
+	fresh   map[PageID]bool
+	inPlace map[PageID]bool
+	batch   garbage   // open (uncommitted) batch
+	pending []garbage // committed garbage awaiting pin drain
+
+	reclaimErr error // first deferred-reclaim failure, surfaced at next Commit/Reclaim
+}
+
+// garbage is one commit's deferred work: pages dead as of that epoch and
+// reclaim hooks (data-record tombstones) that must not run while an older
+// snapshot could still read the records.
+type garbage struct {
+	epoch     uint64
+	pages     []PageID
+	onReclaim []func() error
+}
+
+// ErrCOWViolation reports an in-place write to a committed page that was
+// not exempted with MarkInPlace — a broken copy-on-write path.
+var ErrCOWViolation = errors.New("pagefile: in-place write to a committed page (COW violation)")
+
+// NewVersionedStore wraps inner starting at the given committed epoch
+// (0 for a fresh store; a reopened index passes its persisted epoch).
+func NewVersionedStore(inner Store, epoch uint64) *VersionedStore {
+	return &VersionedStore{
+		inner:   inner,
+		epoch:   epoch,
+		pins:    make(map[uint64]int),
+		fresh:   make(map[PageID]bool),
+		inPlace: make(map[PageID]bool),
+	}
+}
+
+// AttachPool registers the buffer pool whose frames must be dropped when a
+// page is physically freed (reclaimed pages may be recycled by Alloc, and
+// a stale frame would leak the previous epoch's bytes into the new use).
+func (v *VersionedStore) AttachPool(pool *BufferPool) { v.pool = pool }
+
+// Alloc allocates a page and marks it fresh: writable in place until the
+// next Commit seals it.
+func (v *VersionedStore) Alloc() (PageID, error) {
+	id, err := v.inner.Alloc()
+	if err != nil {
+		return id, err
+	}
+	v.mu.Lock()
+	v.fresh[id] = true
+	v.mu.Unlock()
+	return id, nil
+}
+
+// Read passes through without taking the store mutex — the read path is
+// the hot path and needs no versioning state.
+func (v *VersionedStore) Read(id PageID, buf []byte) error { return v.inner.Read(id, buf) }
+
+// Write enforces the COW discipline, then delegates. The check runs under
+// the mutex; the (possibly latency-charged) inner write does not.
+func (v *VersionedStore) Write(id PageID, buf []byte) error {
+	v.mu.Lock()
+	ok := v.fresh[id] || v.inPlace[id]
+	v.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: page %d at epoch %d", ErrCOWViolation, id, v.Epoch())
+	}
+	return v.inner.Write(id, buf)
+}
+
+// Free releases a page: immediately when it is fresh (never committed, no
+// snapshot can reference it), otherwise deferred into the open batch and
+// physically reclaimed only after the freeing commit's older pins drain.
+func (v *VersionedStore) Free(id PageID) error {
+	v.mu.Lock()
+	if v.fresh[id] {
+		delete(v.fresh, id)
+		// Drop any in-place exemption with the page: a recycled id must
+		// re-earn it, or a future tree node on this id would dodge the COW
+		// check.
+		delete(v.inPlace, id)
+		v.mu.Unlock()
+		if v.pool != nil {
+			v.pool.Invalidate(id)
+		}
+		return v.inner.Free(id)
+	}
+	v.batch.pages = append(v.batch.pages, id)
+	v.mu.Unlock()
+	return nil
+}
+
+// Deferred registers a reclaim hook with the open batch; it runs when the
+// batch's commit becomes unreachable by any snapshot (the data-record
+// tombstone path).
+func (v *VersionedStore) Deferred(fn func() error) {
+	v.mu.Lock()
+	v.batch.onReclaim = append(v.batch.onReclaim, fn)
+	v.mu.Unlock()
+}
+
+// MarkInPlace exempts a page from the COW write check: slotted data pages
+// (whose committed records are never moved by an append) and the metadata
+// page.
+func (v *VersionedStore) MarkInPlace(id PageID) {
+	v.mu.Lock()
+	v.inPlace[id] = true
+	v.mu.Unlock()
+}
+
+// Writable reports whether a page may be written in place (fresh this
+// batch). The tree's writeNode relocates the node when this is false.
+func (v *VersionedStore) Writable(id PageID) bool {
+	v.mu.Lock()
+	ok := v.fresh[id]
+	v.mu.Unlock()
+	return ok
+}
+
+// Epoch returns the last committed epoch.
+func (v *VersionedStore) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// SeedState installs the committed-state handle recovered from storage
+// without bumping the epoch — the reopen path, where the state on disk IS
+// the committed epoch.
+func (v *VersionedStore) SeedState(state any) {
+	v.mu.Lock()
+	v.state = state
+	v.mu.Unlock()
+}
+
+// State returns the committed-state handle published by the last Commit
+// (nil before the first).
+func (v *VersionedStore) State() any {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.state
+}
+
+// Commit seals the open batch and publishes state as the new epoch's
+// committed state, atomically with the epoch bump: a Pin issued after
+// Commit returns sees the new state, one issued before keeps the old
+// epoch's pages alive. The caller must have made the batch durable first
+// (buffer-pool flush, metadata write). Commit also drains whatever
+// garbage the current pins allow, but a drain failure never fails the
+// commit — the epoch is already published, so reporting it here would
+// make a durable mutation look failed (and trigger a bogus rollback).
+// Drain errors are stashed and surfaced by the next Reclaim (or the
+// owner's Flush); a page whose free failed is leaked until the store
+// closes, never corrupted.
+func (v *VersionedStore) Commit(state any) error {
+	v.mu.Lock()
+	v.epoch++
+	v.state = state
+	if len(v.batch.pages) > 0 || len(v.batch.onReclaim) > 0 {
+		v.batch.epoch = v.epoch
+		v.pending = append(v.pending, v.batch)
+	}
+	v.batch = garbage{}
+	for id := range v.fresh {
+		delete(v.fresh, id)
+	}
+	drain := v.collectDrainableLocked()
+	v.mu.Unlock()
+	_ = v.drainGarbage(drain) // errors stashed in reclaimErr
+	return nil
+}
+
+// Rollback abandons the open batch after a failed mutation: fresh pages
+// are freed immediately (no snapshot can reference them) and the batch's
+// deferred frees are dropped — those pages are still live in the last
+// committed epoch. The caller restores its in-memory state from the
+// committed-state handle.
+func (v *VersionedStore) Rollback() error {
+	v.mu.Lock()
+	freshPages := make([]PageID, 0, len(v.fresh))
+	for id := range v.fresh {
+		freshPages = append(freshPages, id)
+		delete(v.fresh, id)
+		delete(v.inPlace, id) // see Free: recycled ids must re-earn exemption
+	}
+	v.batch = garbage{}
+	v.mu.Unlock()
+	var first error
+	for _, id := range freshPages {
+		if v.pool != nil {
+			v.pool.Invalidate(id)
+		}
+		if err := v.inner.Free(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Pin takes a snapshot reference on the current epoch and returns the
+// committed-state handle, the pinned epoch, and a release closure. While
+// the pin is held, no page live at that epoch is recycled and no deferred
+// tombstone of a later commit runs. Release is cheap and never performs
+// I/O; the retained garbage drains at the next writer-side Commit /
+// Reclaim / Flush.
+func (v *VersionedStore) Pin() (state any, epoch uint64, release func()) {
+	v.mu.Lock()
+	e := v.epoch
+	v.pins[e]++
+	st := v.state
+	v.mu.Unlock()
+	var once sync.Once
+	return st, e, func() {
+		once.Do(func() {
+			v.mu.Lock()
+			if v.pins[e]--; v.pins[e] <= 0 {
+				delete(v.pins, e)
+			}
+			v.mu.Unlock()
+		})
+	}
+}
+
+// Reclaim drains every garbage batch the current pins allow: a batch
+// freed at commit E is reclaimable once no snapshot pinned at an epoch
+// < E remains. Writer-side only (the tree's commit path, Flush, Close,
+// tests); must not run concurrently with itself.
+func (v *VersionedStore) Reclaim() error {
+	v.mu.Lock()
+	drain := v.collectDrainableLocked()
+	err := v.reclaimErr
+	v.reclaimErr = nil
+	v.mu.Unlock()
+	if derr := v.drainGarbage(drain); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// collectDrainableLocked removes and returns the pending batches whose
+// epochs no live pin predates. Caller holds v.mu.
+func (v *VersionedStore) collectDrainableLocked() []garbage {
+	minPinned := uint64(math.MaxUint64)
+	for e := range v.pins {
+		if e < minPinned {
+			minPinned = e
+		}
+	}
+	var drain []garbage
+	kept := v.pending[:0]
+	for _, g := range v.pending {
+		if g.epoch <= minPinned {
+			drain = append(drain, g)
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	v.pending = kept
+	return drain
+}
+
+// drainGarbage physically frees the collected batches outside the mutex:
+// reclaim hooks first (tombstones touch still-live data pages), then page
+// frees, invalidating any cached frame before the slot can be recycled.
+// The first failure is stashed in reclaimErr (surfaced by Reclaim) as
+// well as returned.
+func (v *VersionedStore) drainGarbage(drain []garbage) error {
+	var first error
+	for _, g := range drain {
+		for _, fn := range g.onReclaim {
+			if err := fn(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, id := range g.pages {
+			if v.pool != nil {
+				v.pool.Invalidate(id)
+			}
+			v.mu.Lock()
+			delete(v.inPlace, id)
+			v.mu.Unlock()
+			if err := v.inner.Free(id); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if first != nil {
+		v.mu.Lock()
+		if v.reclaimErr == nil {
+			v.reclaimErr = first
+		}
+		v.mu.Unlock()
+	}
+	return first
+}
+
+// GCStats reports the collector's state: the committed epoch, live pins,
+// and pages awaiting reclamation (uncommitted batch included) — the
+// page-leak assertion surface for tests.
+func (v *VersionedStore) GCStats() (epoch uint64, pins int, pendingPages int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, n := range v.pins {
+		pins += n
+	}
+	for _, g := range v.pending {
+		pendingPages += len(g.pages)
+	}
+	pendingPages += len(v.batch.pages)
+	return v.epoch, pins, pendingPages
+}
+
+func (v *VersionedStore) NumPages() int { return v.inner.NumPages() }
+func (v *VersionedStore) Stats() *Stats { return v.inner.Stats() }

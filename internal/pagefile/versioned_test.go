@@ -1,0 +1,168 @@
+package pagefile
+
+import (
+	"errors"
+	"testing"
+)
+
+func fill(b byte) []byte {
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestVersionedCOWViolation(t *testing.T) {
+	vs := NewVersionedStore(NewMemStore(), 0)
+	id, err := vs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Write(id, fill(1)); err != nil {
+		t.Fatalf("write to fresh page: %v", err)
+	}
+	if err := vs.Commit("epoch1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Write(id, fill(2)); !errors.Is(err, ErrCOWViolation) {
+		t.Fatalf("in-place write to committed page: got %v, want ErrCOWViolation", err)
+	}
+	vs.MarkInPlace(id)
+	if err := vs.Write(id, fill(2)); err != nil {
+		t.Fatalf("write to exempted page: %v", err)
+	}
+}
+
+func TestVersionedDeferredFreeAndPins(t *testing.T) {
+	inner := NewMemStore()
+	vs := NewVersionedStore(inner, 0)
+	old, _ := vs.Alloc()
+	if err := vs.Write(old, fill(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader pins epoch 1; writer retires the page and commits epoch 2.
+	_, epoch, release := vs.Pin()
+	if epoch != 1 {
+		t.Fatalf("pinned epoch %d, want 1", epoch)
+	}
+	if err := vs.Free(old); err != nil {
+		t.Fatal(err)
+	}
+	tombstoned := false
+	vs.Deferred(func() error { tombstoned = true; return nil })
+	if err := vs.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned snapshot must still read the retired page's bytes.
+	buf := make([]byte, PageSize)
+	if err := vs.Read(old, buf); err != nil || buf[0] != 7 {
+		t.Fatalf("pinned read: err=%v buf[0]=%d", err, buf[0])
+	}
+	if tombstoned {
+		t.Fatal("deferred hook ran while an older snapshot was pinned")
+	}
+	if _, pins, pending := vs.GCStats(); pins != 1 || pending != 1 {
+		t.Fatalf("GCStats pins=%d pending=%d, want 1/1", pins, pending)
+	}
+
+	// Release + writer-side reclaim frees the page and runs the hook.
+	release()
+	release() // idempotent
+	if err := vs.Reclaim(); err != nil {
+		t.Fatal(err)
+	}
+	if !tombstoned {
+		t.Fatal("deferred hook did not run after the pin drained")
+	}
+	if err := vs.Read(old, buf); err == nil {
+		t.Fatal("read of reclaimed page succeeded")
+	}
+	if _, pins, pending := vs.GCStats(); pins != 0 || pending != 0 {
+		t.Fatalf("GCStats after reclaim pins=%d pending=%d, want 0/0", pins, pending)
+	}
+}
+
+func TestVersionedFreshFreeIsImmediate(t *testing.T) {
+	inner := NewMemStore()
+	vs := NewVersionedStore(inner, 0)
+	id, _ := vs.Alloc()
+	if err := vs.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if n := inner.NumPages(); n != 0 {
+		t.Fatalf("fresh free left %d live pages", n)
+	}
+	if _, _, pending := vs.GCStats(); pending != 0 {
+		t.Fatalf("fresh free deferred %d pages", pending)
+	}
+}
+
+func TestVersionedRollback(t *testing.T) {
+	inner := NewMemStore()
+	vs := NewVersionedStore(inner, 0)
+	committed, _ := vs.Alloc()
+	if err := vs.Write(committed, fill(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed batch: one shadow page allocated, the committed page retired.
+	shadow, _ := vs.Alloc()
+	if err := vs.Write(shadow, fill(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Free(committed); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shadow page is gone, the committed page is intact and writable
+	// only via COW (its deferred free was dropped).
+	buf := make([]byte, PageSize)
+	if err := vs.Read(committed, buf); err != nil || buf[0] != 3 {
+		t.Fatalf("committed page after rollback: err=%v buf[0]=%d", err, buf[0])
+	}
+	if err := vs.Read(shadow, buf); err == nil {
+		t.Fatal("shadow page survived rollback")
+	}
+	if _, _, pending := vs.GCStats(); pending != 0 {
+		t.Fatalf("rollback left %d pending pages", pending)
+	}
+	if err := vs.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Read(committed, buf); err != nil || buf[0] != 3 {
+		t.Fatalf("committed page after post-rollback commit: err=%v buf[0]=%d", err, buf[0])
+	}
+}
+
+func TestVersionedCommitPublishesStateAtomically(t *testing.T) {
+	vs := NewVersionedStore(NewMemStore(), 5)
+	if e := vs.Epoch(); e != 5 {
+		t.Fatalf("seeded epoch %d, want 5", e)
+	}
+	vs.SeedState("recovered")
+	st, epoch, release := vs.Pin()
+	if st != "recovered" || epoch != 5 {
+		t.Fatalf("pin got (%v, %d), want (recovered, 5)", st, epoch)
+	}
+	release()
+	if err := vs.Commit("next"); err != nil {
+		t.Fatal(err)
+	}
+	st, epoch, release = vs.Pin()
+	defer release()
+	if st != "next" || epoch != 6 {
+		t.Fatalf("pin got (%v, %d), want (next, 6)", st, epoch)
+	}
+}

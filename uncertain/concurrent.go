@@ -8,16 +8,22 @@ import (
 	"repro/internal/core"
 )
 
-// ConcurrentTree wraps a Tree with a readers-writer lock so searches run in
-// parallel while updates serialize. The underlying U-tree is single-writer
-// by design (like most paged trees); this wrapper is the supported way to
-// share one index across goroutines.
+// ConcurrentTree shares one U-tree across goroutines with snapshot
+// isolation: every query pins the latest committed epoch and traverses it
+// with NO lock held, while mutations — serialized among themselves by a
+// writer mutex — build copy-on-write shadow pages and atomically publish
+// a new epoch on commit. A long-running query therefore never blocks a
+// writer and a slow writer never stalls a single read; a query sees
+// exactly the epoch that was committed when it started (queries started
+// before a delete still return the deleted object; queries started after
+// do not). Retired pages are reclaimed by the epoch GC once no snapshot
+// pins them.
 type ConcurrentTree struct {
-	mu   sync.RWMutex
+	mu   sync.Mutex // serializes writers; the read path takes no lock
 	tree *Tree
 }
 
-// NewConcurrentTree creates a lock-protected index.
+// NewConcurrentTree creates a snapshot-isolated index.
 func NewConcurrentTree(cfg Config) (*ConcurrentTree, error) {
 	t, err := NewTree(cfg)
 	if err != nil {
@@ -26,48 +32,57 @@ func NewConcurrentTree(cfg Config) (*ConcurrentTree, error) {
 	return &ConcurrentTree{tree: t}, nil
 }
 
-// Insert adds an object (exclusive lock).
+// Insert adds an object (writer lock; commits as its own epoch).
 func (c *ConcurrentTree) Insert(id int64, pdf PDF) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.Insert(id, pdf)
 }
 
-// Delete removes an object by ID (exclusive lock).
+// Delete removes an object by ID (writer lock; commits as its own epoch —
+// snapshots pinned before the commit still see the object).
 func (c *ConcurrentTree) Delete(id int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.Delete(id)
 }
 
-// BulkLoad batch-builds an empty index (exclusive lock).
+// BulkLoad batch-builds an empty index (writer lock; one epoch for the
+// whole load).
 func (c *ConcurrentTree) BulkLoad(objects map[int64]PDF) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.BulkLoad(objects)
 }
 
-// Search answers a probabilistic range query under the read lock: any
-// number of goroutines may search in parallel while updates serialize. The
-// read path is genuinely shared-state free — the buffer pool is sharded,
-// and each query's refinement sampler is seeded deterministically from the
-// (tree seed, query) pair (core.RangeQueryRO) — so parallel searches scale
-// with cores and results are reproducible per query. Cancellation releases
-// the read lock within roughly one page latency, so a stuck query cannot
-// starve a waiting writer. QueryEngine builds batch fan-out on top of
-// this.
+// Search answers a probabilistic range query against a snapshot of the
+// latest committed epoch, with no lock held: any number of goroutines
+// search in parallel with each other AND with a live writer — a writer's
+// page I/O never stalls a reader, because the writer only touches shadow
+// pages the snapshot cannot reach. Each query's refinement sampler is
+// seeded deterministically from the (tree seed, query) pair, so results
+// are reproducible per query whatever the interleaving. QueryEngine
+// builds batch fan-out on top of this.
 func (c *ConcurrentTree) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.inner.RangeQueryROCtx(ctx, core.Query{Rect: rect, Prob: prob}, resolveOptions(opts))
+	snap := c.tree.inner.Snapshot()
+	defer snap.Close()
+	return snap.RangeQuery(ctx, core.Query{Rect: rect, Prob: prob}, resolveOptions(opts))
 }
 
-// NearestNeighbors answers an expected-distance k-NN query (read lock; see
-// Search for concurrency and cancellation semantics).
+// NearestNeighbors answers an expected-distance k-NN query against a
+// pinned snapshot (see Search for the isolation contract).
 func (c *ConcurrentTree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.inner.NearestNeighborsCtx(ctx, q, k, resolveOptions(opts))
+	snap := c.tree.inner.Snapshot()
+	defer snap.Close()
+	return snap.NearestNeighbors(ctx, q, k, resolveOptions(opts))
+}
+
+// Snapshot pins the latest committed epoch and returns a handle whose
+// queries all observe that same frozen tree — a consistent multi-query
+// read. Close it when done; the pin holds the epoch's retired pages from
+// reclamation until then.
+func (c *ConcurrentTree) Snapshot() *Snapshot {
+	return &Snapshot{inner: c.tree.inner.Snapshot()}
 }
 
 // CacheStats reports the underlying buffer pool's cumulative hit/miss
@@ -76,53 +91,81 @@ func (c *ConcurrentTree) CacheStats() (hits, misses int64) {
 	return c.tree.inner.CacheStats()
 }
 
+// Epoch returns the last committed epoch number.
+func (c *ConcurrentTree) Epoch() uint64 { return c.tree.Epoch() }
+
+// GCStats reports the epoch collector's state (committed epoch, live
+// snapshot pins, pages awaiting reclamation).
+func (c *ConcurrentTree) GCStats() (epoch uint64, pins int, pendingPages int) {
+	return c.tree.GCStats()
+}
+
 // SetSimulatedPageLatency re-arms the simulated storage latency (see
 // Tree.SetSimulatedPageLatency); safe to call concurrently with queries.
-//
-// Deprecated: set Config.SimulatedPageLatency when opening the index; the
-// mutator remains for build-then-measure tooling.
+// A tooling hook for build-then-measure harnesses — not part of the Index
+// interface; production code sets Config.SimulatedPageLatency.
 func (c *ConcurrentTree) SetSimulatedPageLatency(d time.Duration) {
 	c.tree.SetSimulatedPageLatency(d)
 }
 
-// SetPrefetchWorkers re-arms the default intra-query prefetch fan-out
-// (exclusive lock: in-flight queries finish on the old setting before it
-// swaps).
-//
-// Deprecated: pass WithPrefetchWorkers per query — it takes no lock and
-// stalls no reader — or set Config.PrefetchWorkers at open time.
-func (c *ConcurrentTree) SetPrefetchWorkers(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tree.SetPrefetchWorkers(n)
-}
-
-// Flush writes buffered dirty pages through to the store (exclusive lock;
-// see Tree.Flush for why this helps before read-heavy phases).
+// Flush writes buffered dirty pages through to the store and drains
+// retired pages the current snapshot pins allow (writer lock).
 func (c *ConcurrentTree) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.Flush()
 }
 
-// Len returns the object count.
+// Len returns the object count of the latest committed epoch (lock-free;
+// an in-progress mutation is not yet visible).
 func (c *ConcurrentTree) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.Len()
+	return c.tree.inner.CommittedLen()
 }
 
-// CheckInvariants validates the index structure. The traversal is
-// read-only, so it shares the read lock with searches.
+// CheckInvariants validates the latest committed epoch's structure on a
+// pinned snapshot — safe to run concurrently with a writer.
 func (c *ConcurrentTree) CheckInvariants() error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.CheckInvariants()
+	snap := c.tree.inner.Snapshot()
+	defer snap.Close()
+	return snap.CheckInvariants()
 }
 
-// Close flushes and closes the underlying tree.
+// Close commits final state and closes the underlying tree (writer lock).
 func (c *ConcurrentTree) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.Close()
 }
+
+// Snapshot is a pinned, immutable view of one committed epoch of a
+// ConcurrentTree. All queries on it observe the same tree regardless of
+// concurrent writers; Close releases the pin (idempotent). The zero value
+// is not usable — obtain one from ConcurrentTree.Snapshot.
+type Snapshot struct {
+	inner *core.Snapshot
+}
+
+// Search answers a probabilistic range query against the pinned epoch
+// (same contract as ConcurrentTree.Search, minus the "latest epoch" part).
+func (s *Snapshot) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
+	return s.inner.RangeQuery(ctx, core.Query{Rect: rect, Prob: prob}, resolveOptions(opts))
+}
+
+// NearestNeighbors answers an expected-distance k-NN query against the
+// pinned epoch.
+func (s *Snapshot) NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error) {
+	return s.inner.NearestNeighbors(ctx, q, k, resolveOptions(opts))
+}
+
+// Len returns the object count at the pinned epoch.
+func (s *Snapshot) Len() int { return s.inner.Len() }
+
+// Epoch returns the pinned epoch number.
+func (s *Snapshot) Epoch() uint64 { return s.inner.Epoch() }
+
+// CheckInvariants validates the pinned epoch's structure.
+func (s *Snapshot) CheckInvariants() error { return s.inner.CheckInvariants() }
+
+// Close releases the pin; idempotent. Retired pages of later epochs drain
+// at the next writer-side commit or flush.
+func (s *Snapshot) Close() { s.inner.Close() }

@@ -1,0 +1,211 @@
+package uncertain
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pagefile"
+)
+
+// This file is the crash-consistency contract of the copy-on-write commit
+// scheme: a file-backed index killed at ANY store-operation offset inside
+// a mutation — shadow writes, data appends, the metadata write, the
+// post-commit reclamation — must reopen at the last committed epoch, with
+// intact invariants and byte-identical query results. A mutation is
+// atomic: the recovered tree either contains the full operation or none
+// of it, never a partial state.
+
+// crashQueries are fixed probes over the base population's region; the
+// crash-victim objects live far outside them, so the expected results are
+// identical whether or not the killed operation committed.
+func crashQueries() []RangeQuery {
+	rng := rand.New(rand.NewSource(17))
+	qs := make([]RangeQuery, 12)
+	for i := range qs {
+		lo := Pt(rng.Float64()*700, rng.Float64()*700)
+		qs[i] = RangeQuery{
+			Rect: Box(lo, Pt(lo[0]+220, lo[1]+220)),
+			Prob: 0.3 + 0.4*rng.Float64(),
+		}
+	}
+	return qs
+}
+
+func crashSearchAll(t *testing.T, idx Index, queries []RangeQuery) [][]Result {
+	t.Helper()
+	out := make([][]Result, len(queries))
+	for i, q := range queries {
+		res, _, err := idx.Search(context.Background(), q.Rect, q.Prob)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// buildCrashGolden creates the committed baseline file: a base population
+// inside [0,1000]^2 (some of it then deleted, so the file has lived
+// through COW churn and tombstones) plus one far-away object the
+// delete-crash sweep will target.
+func buildCrashGolden(t *testing.T, path string, cfg Config) (wantLen int, want [][]Result) {
+	t.Helper()
+	tree, err := NewTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	const base = 140
+	for i := int64(0); i < base; i++ {
+		if err := tree.Insert(i, UniformCircle(Pt(rng.Float64()*1000, rng.Float64()*1000), 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < base; i += 9 {
+		if err := tree.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The delete-sweep victim, far outside every probe query.
+	if err := tree.Insert(9000, UniformCircle(Pt(6000, 6000), 12)); err != nil {
+		t.Fatal(err)
+	}
+	want = crashSearchAll(t, tree, crashQueries())
+	wantLen = tree.Len()
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return wantLen, want
+}
+
+// runCrashSweep kills op(tree) at every store-operation offset k: each
+// round restores a pristine copy of the golden file, reopens it with a
+// FaultStore armed to fail after k operations, runs op, simulates the
+// crash (Discard: no flush, no commit, no header write), reopens without
+// faults and verifies the recovered tree. verify receives the recovered
+// tree and whether op had reported success. The sweep ends when the
+// countdown outlives the whole operation.
+func runCrashSweep(t *testing.T, golden []byte, cfg Config, queries []RangeQuery,
+	op func(*Tree) error, verify func(t *testing.T, k int, rt *Tree, opOK bool)) {
+	t.Helper()
+	work := filepath.Join(t.TempDir(), "crash.utree")
+	for k := 0; ; k++ {
+		if k > 500 {
+			t.Fatal("crash sweep did not terminate: operation exceeds 500 store ops")
+		}
+		if err := os.WriteFile(work, golden, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var fault *pagefile.FaultStore
+		fcfg := cfg
+		fcfg.WrapStore = func(s pagefile.Store) pagefile.Store {
+			fault = pagefile.NewFaultStore(s, int64(k))
+			return fault
+		}
+		opOK := false
+		survived := false
+		tree, err := OpenTree(work, fcfg)
+		if err == nil {
+			opErr := op(tree)
+			opOK = opErr == nil
+			survived = opOK && fault.Remaining() > 0
+			if err := tree.Discard(); err != nil {
+				t.Fatalf("offset %d: discard: %v", k, err)
+			}
+		}
+
+		rt, err := OpenTree(work, cfg)
+		if err != nil {
+			t.Fatalf("offset %d: reopen after crash: %v", k, err)
+		}
+		if err := rt.CheckInvariants(); err != nil {
+			t.Fatalf("offset %d: recovered invariants: %v", k, err)
+		}
+		if rt.Epoch() == 0 {
+			t.Fatalf("offset %d: recovered epoch 0", k)
+		}
+		verify(t, k, rt, opOK)
+		if err := rt.Close(); err != nil {
+			t.Fatalf("offset %d: closing recovered tree: %v", k, err)
+		}
+		if survived {
+			return // every offset inside the operation has been exercised
+		}
+	}
+}
+
+func TestCrashRecoveryKilledInsert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep skipped in -short")
+	}
+	cfg := Config{Dimensions: 2, ExactRefinement: true, Seed: 5}
+	path := filepath.Join(t.TempDir(), "golden.utree")
+	gcfg := cfg
+	gcfg.Path = path
+	wantLen, want := buildCrashGolden(t, path, gcfg)
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := crashQueries()
+
+	// The killed operation: insert one object far outside the probes.
+	const crashID = int64(9100)
+	runCrashSweep(t, golden, cfg, queries,
+		func(tree *Tree) error {
+			return tree.Insert(crashID, UniformCircle(Pt(5000, 5000), 12))
+		},
+		func(t *testing.T, k int, rt *Tree, opOK bool) {
+			got := crashSearchAll(t, rt, queries)
+			requireSameResults(t, "recovered", want, got)
+			// Strict atomicity: a reported success means the epoch published
+			// (meta written) before the fault, so the insert must be durable;
+			// a reported failure means it never published (reclaim faults
+			// after publication are stashed, not returned), so the recovered
+			// tree must not contain it.
+			switch {
+			case opOK && rt.Len() == wantLen+1:
+			case !opOK && rt.Len() == wantLen:
+			default:
+				t.Fatalf("offset %d: opOK=%v but recovered Len %d (atomicity: want %d on failure, %d on success)",
+					k, opOK, rt.Len(), wantLen, wantLen+1)
+			}
+		})
+}
+
+func TestCrashRecoveryKilledDelete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep skipped in -short")
+	}
+	cfg := Config{Dimensions: 2, ExactRefinement: true, Seed: 5}
+	path := filepath.Join(t.TempDir(), "golden.utree")
+	gcfg := cfg
+	gcfg.Path = path
+	wantLen, want := buildCrashGolden(t, path, gcfg)
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := crashQueries()
+
+	// The killed operation: delete the far-away victim (id 9000 at
+	// (6000,6000), inserted by the golden build).
+	runCrashSweep(t, golden, cfg, queries,
+		func(tree *Tree) error {
+			return tree.DeleteWithRegion(9000, Box(Pt(5988, 5988), Pt(6012, 6012)))
+		},
+		func(t *testing.T, k int, rt *Tree, opOK bool) {
+			got := crashSearchAll(t, rt, queries)
+			requireSameResults(t, "recovered", want, got)
+			switch {
+			case opOK && rt.Len() == wantLen-1: // delete committed and durable
+			case !opOK && rt.Len() == wantLen: // delete never published
+			default:
+				t.Fatalf("offset %d: opOK=%v but recovered Len %d (atomicity: want %d on failure, %d on success)",
+					k, opOK, rt.Len(), wantLen, wantLen-1)
+			}
+		})
+}

@@ -12,10 +12,11 @@ import (
 )
 
 // This file is the batch query engine: a bounded worker pool fanning many
-// independent queries across one shared Index — a ConcurrentTree (workers
-// read under its shared lock, so batches interleave freely with live
-// updates) or a ShardedTree (each worker's query additionally scatters
-// across the shards). The design follows the scalable filter/refinement
+// independent queries across one shared Index — a ConcurrentTree (each
+// worker's query pins its own snapshot of the committed epoch, so batches
+// interleave freely with live updates and never wait on a writer) or a
+// ShardedTree (each worker's query additionally scatters across the
+// shards). The design follows the scalable filter/refinement
 // pipelines of Bernecker et al. (probabilistic similarity ranking): the
 // per-query work is already filter-then-refine, so throughput comes from
 // running many queries' pipelines concurrently against a page cache that

@@ -43,14 +43,19 @@ func (t *Tree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...Que
 
 // BulkLoad builds the index bottom-up (STR packing) from a batch of
 // objects; the tree must be empty. Far faster than repeated Insert and
-// produces a tighter tree; the index stays fully dynamic afterwards.
+// produces a tighter tree; the index stays fully dynamic afterwards. The
+// whole load commits as a single epoch: snapshots see either the empty
+// tree or the complete load, never a partial one.
 func (t *Tree) BulkLoad(objects map[int64]PDF) error {
 	objs := make([]core.Object, 0, len(objects))
 	for id, p := range objects {
 		objs = append(objs, core.Object{ID: id, PDF: p})
 	}
 	if err := t.inner.BulkLoad(objs); err != nil {
-		return err
+		return t.rollback(err)
+	}
+	if err := t.commit(); err != nil {
+		return t.rollback(err)
 	}
 	for id, p := range objects {
 		t.pdfs[id] = p.MBR()

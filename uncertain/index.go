@@ -2,21 +2,21 @@ package uncertain
 
 import (
 	"context"
-	"time"
 )
 
 // Index is the unified contract of every U-tree variant in this package:
-// the single-goroutine Tree, the lock-protected ConcurrentTree, and the
-// scatter-gather ShardedTree. Code that drives an index — the batch
+// the single-goroutine Tree, the snapshot-isolated ConcurrentTree, and
+// the scatter-gather ShardedTree. Code that drives an index — the batch
 // QueryEngine, the experiment harness, CLIs — should accept an Index so
 // callers pick the concurrency story that fits their workload:
 //
 //   - Tree: one goroutine, lowest overhead.
-//   - ConcurrentTree: shared readers behind one writer lock; a writer
-//     stalls every reader for the duration of its page I/O.
+//   - ConcurrentTree: lock-free snapshot reads beside one serialized
+//     writer; queries pin the committed epoch and never wait on a
+//     writer's page I/O.
 //   - ShardedTree: K independent ConcurrentTrees; queries fan out across
-//     all shards and overlap their page latencies, and a writer stalls
-//     only the one shard that owns the object.
+//     all shards and overlap their page latencies, and writers on
+//     different shards proceed in parallel.
 //
 // The query surface is context-first: every query takes a
 // context.Context for cancellation and deadlines (queries check it before
@@ -45,24 +45,17 @@ type Index interface {
 	Len() int
 	// CacheStats reports cumulative buffer-pool hits and misses (summed
 	// over shards for sharded indexes).
+	//
+	// The deprecated SetSimulatedPageLatency / SetPrefetchWorkers mutators
+	// were removed from this interface (PR 4 deprecation note): prefetch
+	// fan-out is per query (WithPrefetchWorkers) or per open
+	// (Config.PrefetchWorkers), and simulated latency is per open
+	// (Config.SimulatedPageLatency). The concrete index types keep
+	// SetSimulatedPageLatency as a tooling hook for build-then-measure
+	// harnesses.
 	CacheStats() (hits, misses int64)
-	// SetSimulatedPageLatency arms or disarms the simulated storage latency
-	// on every underlying store.
-	//
-	// Deprecated: set Config.SimulatedPageLatency when opening the index.
-	// The mutator remains for tooling that re-arms latency between build
-	// and measurement phases (utreectl, the experiment harness).
-	SetSimulatedPageLatency(d time.Duration)
-	// SetPrefetchWorkers re-arms the index-wide default intra-query
-	// prefetch fan-out (0 disables). Takes the writer lock(s), so
-	// in-flight queries finish first.
-	//
-	// Deprecated: pass WithPrefetchWorkers to the query instead — it takes
-	// no lock and applies to that query only — or set
-	// Config.PrefetchWorkers when opening the index. The mutator remains
-	// as a shim over the per-open default.
-	SetPrefetchWorkers(n int)
-	// Flush writes buffered dirty pages through to the store(s).
+	// Flush writes buffered dirty pages through to the store(s) and drains
+	// retired copy-on-write pages no snapshot pins.
 	Flush() error
 	// CheckInvariants validates the index structure (every shard for
 	// sharded indexes).

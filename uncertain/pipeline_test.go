@@ -19,13 +19,14 @@ import (
 // the prefetcher's fetch goroutines touch the buffer pool and store
 // concurrently.
 
-// pipelineSearchAll runs every query and returns raw (unsorted) results —
-// order is part of the byte-identical contract for a single index.
-func pipelineSearchAll(t *testing.T, idx Index, queries []RangeQuery) [][]Result {
+// pipelineSearchAll runs every query (with the given per-query options,
+// e.g. WithPrefetchWorkers) and returns raw (unsorted) results — order is
+// part of the byte-identical contract for a single index.
+func pipelineSearchAll(t *testing.T, idx Index, queries []RangeQuery, opts ...QueryOption) [][]Result {
 	t.Helper()
 	out := make([][]Result, len(queries))
 	for i, q := range queries {
-		res, stats, err := idx.Search(context.Background(), q.Rect, q.Prob)
+		res, stats, err := idx.Search(context.Background(), q.Rect, q.Prob, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,17 +93,15 @@ func TestPipelinedRangeEquivalence(t *testing.T) {
 			}
 
 			for _, w := range []int{1, 2, 4, 8} {
-				ct.SetPrefetchWorkers(w)
-				got := pipelineSearchAll(t, ct, queries)
+				got := pipelineSearchAll(t, ct, queries, WithPrefetchWorkers(w))
 				requireSameResults(t, fmt.Sprintf("prefetch=%d", w), want, got)
 
 				// Deterministic RO seeding: repeating a query with prefetch
 				// on must reproduce its own Monte Carlo probabilities.
-				again := pipelineSearchAll(t, ct, queries)
+				again := pipelineSearchAll(t, ct, queries, WithPrefetchWorkers(w))
 				requireSameResults(t, fmt.Sprintf("prefetch=%d repeat", w), got, again)
 			}
-			ct.SetPrefetchWorkers(0)
-			got := pipelineSearchAll(t, ct, queries)
+			got := pipelineSearchAll(t, ct, queries, WithPrefetchWorkers(0))
 			requireSameResults(t, "prefetch disarmed", want, got)
 		})
 	}
@@ -129,10 +128,9 @@ func TestPipelinedStatsParity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ct.SetPrefetchWorkers(4)
 	issued := 0
 	for i, q := range queries {
-		_, st, err := ct.Search(context.Background(), q.Rect, q.Prob)
+		_, st, err := ct.Search(context.Background(), q.Rect, q.Prob, WithPrefetchWorkers(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,11 +225,10 @@ func TestPipelinedNNEquivalence(t *testing.T) {
 	}
 
 	for _, w := range []int{2, 8} {
-		ct.SetPrefetchWorkers(w)
 		i := 0
 		for _, p := range points {
 			for _, k := range []int{1, 5, 10} {
-				res, stats, err := ct.NearestNeighbors(context.Background(), p, k)
+				res, stats, err := ct.NearestNeighbors(context.Background(), p, k, WithPrefetchWorkers(w))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -349,12 +346,8 @@ func TestPipelinedSearchUnderWriter(t *testing.T) {
 			}
 
 			// Quiesced: pipelined vs serial on the mutated index.
-			serialWant := func() [][]Result {
-				idx.SetPrefetchWorkers(0)
-				return pipelineSearchAll(t, idx, queries)
-			}()
-			idx.SetPrefetchWorkers(4)
-			got := pipelineSearchAll(t, idx, queries)
+			serialWant := pipelineSearchAll(t, idx, queries, WithPrefetchWorkers(0))
+			got := pipelineSearchAll(t, idx, queries, WithPrefetchWorkers(4))
 			requireSameResults(t, tc.name+" quiesced", serialWant, got)
 		})
 	}

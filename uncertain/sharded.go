@@ -21,8 +21,10 @@ import (
 //
 //   - One query overlaps its page stalls across shards: latency ≈ the
 //     slowest shard's share instead of the sum.
-//   - A writer takes only its own shard's lock, so concurrent searches
-//     lose at most 1/K of their fan-out instead of stalling entirely.
+//   - Writers on different shards proceed in parallel (each shard
+//     serializes only its own writers); readers never stall on writers at
+//     all — every shard query runs on a pinned snapshot of that shard's
+//     latest committed epoch.
 //
 // The split is by ID hash, not by space, so every shard sees queries from
 // the whole domain; each sub-tree indexes a uniform 1/K sample of the
@@ -112,9 +114,12 @@ func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
 }
 
 // Search scatter-gathers a probabilistic range query: every shard runs the
-// query concurrently (each under its own read lock, overlapping page
-// latencies), and the partial results are concatenated, sorted by ID, and
-// returned with the per-shard Stats merged.
+// query concurrently (each on a pinned snapshot of its latest committed
+// epoch, overlapping page latencies), and the partial results are
+// concatenated, sorted by ID, and returned with the per-shard Stats
+// merged. The per-shard snapshots are pinned independently, so under a
+// live writer the merged answer reflects each shard's epoch at its own
+// pin time — within one shard the view is always consistent.
 //
 // Cancellation fans out: cancelling ctx (or passing its deadline) stops
 // every shard's traversal, and the partial answers the shards had already
@@ -268,25 +273,12 @@ func (s *ShardedTree) CacheStats() (hits, misses int64) {
 }
 
 // SetSimulatedPageLatency re-arms the simulated storage latency on every
-// shard; safe to call concurrently with queries.
-//
-// Deprecated: set Config.SimulatedPageLatency when opening the index; the
-// mutator remains for build-then-measure tooling.
+// shard; safe to call concurrently with queries. A tooling hook for
+// build-then-measure harnesses — not part of the Index interface;
+// production code sets Config.SimulatedPageLatency.
 func (s *ShardedTree) SetSimulatedPageLatency(d time.Duration) {
 	for _, sh := range s.shards {
 		sh.SetSimulatedPageLatency(d)
-	}
-}
-
-// SetPrefetchWorkers re-arms the default intra-query prefetch fan-out on
-// every shard. Note the bound is per shard: a scatter-gathered query may
-// have up to n×K fetches in flight across K shards.
-//
-// Deprecated: pass WithPrefetchWorkers per query (lock-free, per-query
-// scope) or set Config.PrefetchWorkers at open time.
-func (s *ShardedTree) SetPrefetchWorkers(n int) {
-	for _, sh := range s.shards {
-		sh.SetPrefetchWorkers(n)
 	}
 }
 

@@ -23,6 +23,7 @@ package uncertain
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -129,8 +130,13 @@ type Config struct {
 	// On latency-bound storage this pipelines one query's I/O stalls the
 	// way the batch engine overlaps stalls across queries. 0 (the default)
 	// disables intra-query prefetching. Results are byte-identical either
-	// way; see also SetPrefetchWorkers for re-arming at runtime.
+	// way; use WithPrefetchWorkers to override per query.
 	PrefetchWorkers int
+	// WrapStore, when set, wraps the base page store (file or memory)
+	// before the latency and versioning layers — the fault-injection and
+	// instrumentation hook (e.g. pagefile.FaultStore for crash-recovery
+	// tests). Production code leaves it nil.
+	WrapStore func(pagefile.Store) pagefile.Store
 }
 
 // Tree is a dynamic index over uncertain objects supporting probabilistic
@@ -181,6 +187,9 @@ func NewTree(cfg Config) (*Tree, error) {
 	if base == nil {
 		base = pagefile.NewMemStore()
 	}
+	if cfg.WrapStore != nil {
+		base = cfg.WrapStore(base)
+	}
 	t.latency = pagefile.NewLatencyStore(base, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
 	opt.Store = t.latency
 	inner, err := core.New(opt)
@@ -191,14 +200,47 @@ func NewTree(cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t.inner = inner
+	// Make the empty tree the first durable epoch: for file-backed trees
+	// the metadata page now points at a committed root, so even a process
+	// that dies before its first mutation leaves a reopenable file.
+	if err := t.commit(); err != nil {
+		t.Discard()
+		return nil, err
+	}
 	return t, nil
 }
 
+// commit seals the current mutation as a new epoch — through the metadata
+// page for file-backed trees (the crash-consistency point), directly for
+// in-memory ones. Every mutating method auto-commits, so each completed
+// Insert/Delete/BulkLoad is an epoch of its own and snapshots only ever
+// see completed operations.
+func (t *Tree) commit() error {
+	if t.file != nil {
+		return t.inner.CommitWithMeta(t.meta)
+	}
+	return t.inner.Commit()
+}
+
+// rollback rewinds a failed mutation to the last committed epoch; the
+// mutation's error wins over any rollback error.
+func (t *Tree) rollback(opErr error) error {
+	if rbErr := t.inner.Rollback(); rbErr != nil {
+		return fmt.Errorf("%w (rollback also failed: %v)", opErr, rbErr)
+	}
+	return opErr
+}
+
 // Insert adds an object. IDs must be unique; inserting a duplicate ID is
-// not detected (two entries will coexist).
+// not detected (two entries will coexist). The insert commits as its own
+// epoch; on failure the tree rolls back to the previous epoch and remains
+// usable.
 func (t *Tree) Insert(id int64, pdf PDF) error {
 	if err := t.inner.Insert(core.Object{ID: id, PDF: pdf}); err != nil {
-		return err
+		return t.rollback(err)
+	}
+	if err := t.commit(); err != nil {
+		return t.rollback(err)
 	}
 	t.pdfs[id] = pdf.MBR()
 	return nil
@@ -206,23 +248,27 @@ func (t *Tree) Insert(id int64, pdf PDF) error {
 
 // Delete removes an object by ID. Objects inserted in a previous process
 // lifetime (reopened file-backed trees) need DeleteWithRegion instead.
+// Commits as its own epoch; snapshots pinned before the commit still see
+// the object.
 func (t *Tree) Delete(id int64) error {
 	mbr, ok := t.pdfs[id]
 	if !ok {
 		return fmt.Errorf("uncertain: id %d not tracked in this session; use DeleteWithRegion", id)
 	}
-	if err := t.inner.Delete(id, mbr); err != nil {
-		return err
-	}
-	delete(t.pdfs, id)
-	return nil
+	return t.DeleteWithRegion(id, mbr)
 }
 
 // DeleteWithRegion removes an object by ID and its region MBR (the pdf's
-// MBR at insertion time).
+// MBR at insertion time). Commits as its own epoch.
 func (t *Tree) DeleteWithRegion(id int64, regionMBR Rect) error {
 	if err := t.inner.Delete(id, regionMBR); err != nil {
-		return err
+		if errors.Is(err, core.ErrNotFound) {
+			return err // nothing mutated; no rollback needed
+		}
+		return t.rollback(err)
+	}
+	if err := t.commit(); err != nil {
+		return t.rollback(err)
 	}
 	delete(t.pdfs, id)
 	return nil
@@ -251,20 +297,22 @@ func (t *Tree) SetSimulatedPageLatency(d time.Duration) {
 	}
 }
 
-// SetPrefetchWorkers re-arms the default intra-query prefetch fan-out at
-// runtime (0 disables): how many async page fetches one query may have in
-// flight when it passes no WithPrefetchWorkers option. Like the tree's
-// other mutators it must not run concurrently with queries; ConcurrentTree
-// and ShardedTree serialize it behind their writer locks.
-//
-// Deprecated: pass WithPrefetchWorkers per query (lock-free, per-query
-// scope) or set Config.PrefetchWorkers at open time.
-func (t *Tree) SetPrefetchWorkers(n int) { t.inner.SetPrefetchWorkers(n) }
-
-// Flush writes every buffered dirty page through to the store. Useful
+// Flush writes every buffered dirty page through to the store and drains
+// whatever retired epochs' pages the current snapshot pins allow. Useful
 // before a read-heavy phase: a clean pool evicts without write-backs, so
 // concurrent searches never stall on flushing another query's victim.
 func (t *Tree) Flush() error { return t.inner.Flush() }
+
+// Epoch returns the last committed epoch number (each completed mutation
+// is one epoch).
+func (t *Tree) Epoch() uint64 { return t.inner.Epoch() }
+
+// GCStats reports the epoch collector's state: committed epoch, live
+// snapshot pins, and pages awaiting reclamation — the observability
+// surface for leak assertions in tests and tooling.
+func (t *Tree) GCStats() (epoch uint64, pins int, pendingPages int) {
+	return t.inner.GCStats()
+}
 
 // Len returns the number of indexed objects.
 func (t *Tree) Len() int { return t.inner.Len() }
@@ -281,17 +329,35 @@ func (t *Tree) CacheStats() (hits, misses int64) { return t.inner.CacheStats() }
 // CheckInvariants validates the index structure (for tests and tooling).
 func (t *Tree) CheckInvariants() error { return t.inner.CheckInvariants() }
 
-// Close flushes and, for file-backed trees, persists metadata and closes
-// the file.
+// Close commits any final state, drains the last retired pages, and, for
+// file-backed trees, closes the file. Every mutation already committed
+// durably, so Close adds nothing a crash would lose — but it is the last
+// chance to surface a reclaim failure stashed by an earlier commit (such
+// a failure leaked pages; it never corrupted data).
 func (t *Tree) Close() error {
+	err := t.commit()
+	if err == nil {
+		err = t.inner.Reclaim()
+	}
+	if t.file != nil {
+		if cerr := t.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Discard releases a file-backed tree WITHOUT committing or flushing —
+// the crash-simulation exit (and the cleanup path for a handle whose
+// storage already failed): the file keeps exactly the pages that were
+// durable when the last operation stopped, as if the process died there.
+// OpenTree then recovers the last committed epoch. In-memory trees just
+// drop their state.
+func (t *Tree) Discard() error {
 	if t.file == nil {
-		return t.inner.Flush()
+		return nil
 	}
-	if err := t.inner.SaveMeta(t.meta); err != nil {
-		t.file.Close()
-		return err
-	}
-	return t.file.Close()
+	return t.file.Abort()
 }
 
 // OpenTree reopens a file-backed index created with Config.Path. The
@@ -303,7 +369,11 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{file: fs, meta: 1, pdfs: make(map[int64]Rect)}
-	t.latency = pagefile.NewLatencyStore(fs, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
+	var base pagefile.Store = fs
+	if cfg.WrapStore != nil {
+		base = cfg.WrapStore(base)
+	}
+	t.latency = pagefile.NewLatencyStore(base, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
 	inner, err := core.Open(t.latency, 1, core.Options{
 		MCSamples:       cfg.MonteCarloSamples,
 		ExactRefinement: cfg.ExactRefinement,
