@@ -12,11 +12,12 @@
 //	ubench -experiment sharded -shards 4      # scatter-gather vs single tree
 //	ubench -experiment pipeline -prefetch 8   # intra-query I/O pipelining sweep
 //	ubench -experiment pipeline -json out.json  # machine-readable results
+//	ubench -experiment writepath -group 32    # group-commit write-path sweep
 //	ubench -parallel -query-timeout 5         # per-query deadlines; cancelled counts in -json rows
 //	ubench -parallel -limit 8 -page-budget 32 -mc-samples 500   # per-query option knobs
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
-// sharded, pipeline, all.
+// sharded, pipeline, writepath, all.
 //
 // -json writes the throughput experiments' structured rows (workload
 // params, q/s, merged query stats) to a file, so perf trajectories can be
@@ -54,14 +55,15 @@ type jsonReport struct {
 	PageBudget     int     `json:",omitempty"`
 	MCSamples      int     `json:",omitempty"`
 
-	Parallel []experiments.ParallelRow `json:",omitempty"`
-	Sharded  []experiments.ShardedRow  `json:",omitempty"`
-	Pipeline []experiments.PipelineRow `json:",omitempty"`
+	Parallel  []experiments.ParallelRow  `json:",omitempty"`
+	Sharded   []experiments.ShardedRow   `json:",omitempty"`
+	Pipeline  []experiments.PipelineRow  `json:",omitempty"`
+	WritePath []experiments.WritePathRow `json:",omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|all")
+		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
 		queries  = flag.Int("queries", 0, "queries per workload (0 = default)")
 		samples  = flag.Int("mc", 0, "monte-carlo samples per probability (0 = default)")
@@ -71,6 +73,7 @@ func main() {
 		iolatMS  = flag.Float64("iolat", 2, "simulated per-page storage latency for -parallel, -experiment sharded and -experiment pipeline, milliseconds (0 disables; paper era model: 10)")
 		shards   = flag.Int("shards", 4, "max shard count for -experiment sharded (sweeps 1,2,4,... up to this)")
 		prefetch = flag.Int("prefetch", 8, "max intra-query prefetch fan-out for -experiment pipeline (sweeps 0,1,2,4,... up to this)")
+		group    = flag.Int("group", 32, "max group-commit size for -experiment writepath (sweeps 1, max/4, max)")
 		jsonPath = flag.String("json", "", "write machine-readable results of the throughput experiments to this file")
 
 		// Per-query options of the context-first query API, applied to the
@@ -104,6 +107,10 @@ func main() {
 	}
 	if (*exp == "pipeline" || *exp == "all") && *prefetch < 0 {
 		fmt.Fprintf(os.Stderr, "-prefetch must be ≥ 0, got %d\n", *prefetch)
+		os.Exit(2)
+	}
+	if (*exp == "writepath" || *exp == "all") && *group < 1 {
+		fmt.Fprintf(os.Stderr, "-group must be ≥ 1, got %d\n", *group)
 		os.Exit(2)
 	}
 
@@ -198,6 +205,14 @@ func main() {
 		})
 		ran = true
 	}
+	if all || *exp == "writepath" {
+		run("writepath", func() error {
+			rows, err := experiments.WritePath(cfg, groupSweep(*group))
+			report.WritePath = rows
+			return err
+		})
+		ran = true
+	}
 	if all || *exp == "ablations" {
 		run("ablation-split", func() error { _, err := experiments.AblationSplit(cfg); return err })
 		run("ablation-reinsert", func() error { _, err := experiments.AblationReinsert(cfg); return err })
@@ -226,6 +241,19 @@ func writeJSON(path string, report jsonReport) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// groupSweep builds the group-commit sweep {1, max/4, max}, deduplicated
+// and ordered — the per-op baseline, a mid point, and the target size.
+func groupSweep(max int) []int {
+	vs := []int{1}
+	if mid := max / 4; mid > 1 && mid < max {
+		vs = append(vs, mid)
+	}
+	if max > 1 {
+		vs = append(vs, max)
+	}
+	return vs
 }
 
 // sweepUpTo builds the doubling sweep 1, 2, 4, … capped at max, always

@@ -205,6 +205,14 @@ func stats(path string, cfg uncertain.Config) error {
 	fmt.Printf("objects:   %d\n", tree.Len())
 	fmt.Printf("height:    %d levels\n", tree.Height())
 	fmt.Printf("file size: %d bytes\n", fi.Size())
+	gc := tree.GCInfo()
+	fmt.Printf("epoch:     %d (%d snapshot pins)\n", gc.Epoch, gc.Pins)
+	fmt.Printf("gc:        pending %d epochs / %d pages / %d tombstones; reclaimed %d pages, %d tombstones lifetime\n",
+		gc.PendingEpochs, gc.PendingPages, gc.PendingTombstones,
+		gc.ReclaimedPages, gc.ReclaimedTombstones)
+	if gc.ReclaimerRunning {
+		fmt.Printf("reclaimer: running in background\n")
+	}
 	return nil
 }
 

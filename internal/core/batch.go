@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pagefile"
+)
+
+// The explicit batch surface: a batch groups any number of mutations into
+// one commit epoch. The amortization falls out of the copy-on-write
+// mechanics rather than extra bookkeeping — writeNode relocates a node
+// only while !vs.Writable(page), and a relocated page is fresh (writable
+// in place) until the next Commit seals it. With per-op commits every
+// operation re-relocates the whole root path; inside a batch each node is
+// relocated at most once, however many operations touch it, and the data
+// file's append page is written once at the batch's flush instead of once
+// per record.
+
+// BeginBatch opens an explicit mutation batch: Insert/Delete/BulkLoad stop
+// publishing epochs until CommitBatch. Nested batches are an error (the
+// epoch surface has no savepoints).
+func (t *Tree) BeginBatch() error {
+	if t.inBatch {
+		return fmt.Errorf("core: BeginBatch inside an open batch")
+	}
+	t.inBatch = true
+	return nil
+}
+
+// InBatch reports whether an explicit batch is open.
+func (t *Tree) InBatch() bool { return t.inBatch }
+
+// CommitBatch seals the open batch as one commit epoch; see Commit.
+func (t *Tree) CommitBatch() error { return t.CommitBatchWithMeta(pagefile.InvalidPage) }
+
+// CommitBatchWithMeta is CommitBatch with the durable metadata write of
+// CommitWithMeta — the batch-granular crash-consistency point: a crash
+// anywhere before the metadata write recovers the previous epoch with no
+// trace of the batch; after it, the whole batch.
+func (t *Tree) CommitBatchWithMeta(meta pagefile.PageID) error {
+	if !t.inBatch {
+		return fmt.Errorf("core: CommitBatch without BeginBatch")
+	}
+	t.inBatch = false
+	return t.CommitWithMeta(meta)
+}
+
+// RollbackBatch abandons the open batch; see Rollback.
+func (t *Tree) RollbackBatch() error {
+	if !t.inBatch {
+		return fmt.Errorf("core: RollbackBatch without BeginBatch")
+	}
+	t.inBatch = false
+	return t.Rollback()
+}

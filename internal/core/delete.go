@@ -36,9 +36,10 @@ func (t *Tree) Delete(id int64, mbr geom.Rect) error {
 	}
 	// Tombstoning the data record is deferred to the epoch GC: a snapshot
 	// pinned before this delete commits still holds a leaf entry pointing
-	// at the record and must be able to refine it. The hook runs once no
-	// such snapshot remains.
-	t.vs.Deferred(func() error { return t.data.Delete(addr) })
+	// at the record and must be able to refine it. The GC coalesces the
+	// epoch's tombstones per data page and applies them once no such
+	// snapshot remains.
+	t.vs.DeferTombstone(addr.Page, addr.Slot)
 	t.size--
 
 	t.deleteStats.Ops++

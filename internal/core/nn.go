@@ -114,6 +114,11 @@ func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error
 // root; Snapshot.NearestNeighbors runs the same traversal against a
 // pinned epoch.
 func (t *Tree) NearestNeighborsCtx(ctx context.Context, q geom.Point, k int, o QueryOpts) ([]NNResult, NNStats, error) {
+	// Working-root queries must see this batch's appends (refinement reads
+	// data pages from the store, never the append cache).
+	if err := t.data.Flush(); err != nil {
+		return nil, NNStats{}, err
+	}
 	return t.nearestNeighborsAt(t.rootPage, ctx, q, k, o)
 }
 

@@ -113,8 +113,39 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 	t.rootLevel = int(binary.LittleEndian.Uint32(buf[12:]))
 	t.size = int(binary.LittleEndian.Uint64(buf[16:]))
 	t.data = pagefile.OpenDataFileAt(t.store, pagefile.PageID(binary.LittleEndian.Uint32(buf[24:])))
+	t.vs.SetTombstoner(t.data.DeleteBatch)
 	// Publish the recovered state as the committed epoch so snapshots work
 	// immediately and the first mutation copy-on-writes the recovered pages.
 	t.vs.SeedState(t.workingState())
+	t.vs.StartReclaimer(opt.ReclaimInterval, opt.ReclaimBudget)
 	return t, nil
+}
+
+// ReachablePages walks the committed tree and returns every page it
+// references: node pages, the data pages held by leaf entries, and the
+// current append page. This is the live set for the open-time leak sweep —
+// a crash between an epoch's metadata write and its garbage drain leaves
+// superseded shadow pages allocated but unreferenced, and the store can
+// return exactly the complement of this set (plus its own metadata) to the
+// free list.
+func (t *Tree) ReachablePages() (map[pagefile.PageID]bool, error) {
+	reach := make(map[pagefile.PageID]bool)
+	err := t.walk(t.rootPage, func(n *node) error {
+		reach[n.page] = true
+		if n.level == 0 {
+			for i := range n.entries {
+				if p := n.entries[i].addr.Page; p != pagefile.InvalidPage {
+					reach[p] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p := t.data.CurrentPage(); p != pagefile.InvalidPage {
+		reach[p] = true
+	}
+	return reach, nil
 }

@@ -100,6 +100,11 @@ func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
 // prefetch-bound in-flight fetches). With a zero QueryOpts, results and
 // logical stats are byte-identical to RangeQuery.
 func (t *Tree) RangeQueryCtx(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
+	// Working-root queries must see this batch's appends: refinement reads
+	// data pages from the store, never the append cache.
+	if err := t.data.Flush(); err != nil {
+		return nil, QueryStats{}, err
+	}
 	p := t.resolvePlan(ctx, o)
 	return t.rangeQuery(t.rootPage, q, t.rng, &p)
 }
@@ -120,6 +125,11 @@ func (t *Tree) RangeQueryRO(q Query) ([]Result, QueryStats, error) {
 // RangeQueryROCtx is RangeQueryRO with a cancellation context and
 // per-query options (see RangeQueryCtx for the cancellation contract).
 func (t *Tree) RangeQueryROCtx(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
+	// See RangeQueryCtx: append-cache visibility. Flushing is a no-op for
+	// the RO contract's "no concurrent writer" case with nothing buffered.
+	if err := t.data.Flush(); err != nil {
+		return nil, QueryStats{}, err
+	}
 	p := t.resolvePlan(ctx, o)
 	return t.rangeQuery(t.rootPage, q, rand.New(rand.NewSource(t.roSeed(q))), &p)
 }

@@ -48,6 +48,12 @@ func (t *Tree) Commit() error { return t.CommitWithMeta(pagefile.InvalidPage) }
 // place, so a crash at any operation boundary leaves the file recoverable
 // at the last committed epoch.
 func (t *Tree) CommitWithMeta(meta pagefile.PageID) error {
+	// Data first: leaf entries flushed by the pool reference record
+	// addresses that must be durable (and readable) no later than the
+	// nodes pointing at them.
+	if err := t.data.Flush(); err != nil {
+		return err
+	}
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
@@ -103,6 +109,15 @@ func (t *Tree) CommittedLen() int {
 func (t *Tree) GCStats() (epoch uint64, pins int, pendingPages int) {
 	return t.vs.GCStats()
 }
+
+// GCInfo reports the epoch collector's full health: pending epochs, pages
+// and tombstones, lifetime reclaim counters, and reclaimer state.
+func (t *Tree) GCInfo() pagefile.GCInfo { return t.vs.GCInfo() }
+
+// StopBackgroundReclaim stops the background epoch reclaimer if Options
+// started one; idempotent. Garbage it had not drained is picked up by the
+// next Commit, Reclaim or Flush.
+func (t *Tree) StopBackgroundReclaim() { t.vs.StopReclaimer() }
 
 // Reclaim drains whatever retired pages and deferred tombstones the
 // current snapshot pins allow. Writer-side, like Commit.

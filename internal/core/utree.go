@@ -45,6 +45,16 @@ type Options struct {
 	// prefetching — every page read is a sequential stall, as in the
 	// paper's serial cost model. Results are byte-identical either way.
 	PrefetchWorkers int
+	// ReclaimInterval > 0 starts the background epoch reclaimer: retired
+	// pages and data-record tombstones drain on a dedicated goroutine's
+	// ticks instead of inline at Commit, bounded by ReclaimBudget page
+	// operations per tick (0 selects pagefile.DefaultReclaimBudget). The
+	// owner must StopBackgroundReclaim (or Close via the public API) before
+	// discarding the tree.
+	ReclaimInterval time.Duration
+	// ReclaimBudget is the per-tick page budget of the background
+	// reclaimer; ignored when ReclaimInterval is 0.
+	ReclaimBudget int
 }
 
 // SplitStrategy selects the rectangles fed to the R* split during overflow
@@ -114,6 +124,9 @@ type Tree struct {
 	// Update statistics for the Fig. 11 experiment.
 	insertStats UpdateStats
 	deleteStats UpdateStats
+
+	// inBatch marks an open explicit batch (BeginBatch/CommitBatch).
+	inBatch bool
 }
 
 // UpdateStats accumulates the paper's update-cost breakdown.
@@ -176,6 +189,7 @@ func New(opt Options) (*Tree, error) {
 	t.pool = pagefile.NewBufferPool(t.store, bufPages)
 	t.vs.AttachPool(t.pool)
 	t.data = pagefile.NewDataFile(t.store)
+	t.vs.SetTombstoner(t.data.DeleteBatch)
 	t.leafCap, t.innerCap = capacities(t.kind, t.dim, m)
 	t.leafEntrySize, t.innerEntrySize = entrySizes(t.kind, t.dim, m)
 	if t.leafCap < 4 || t.innerCap < 4 {
@@ -201,6 +215,7 @@ func New(opt Options) (*Tree, error) {
 	if err := t.Commit(); err != nil {
 		return nil, err
 	}
+	t.vs.StartReclaimer(opt.ReclaimInterval, opt.ReclaimBudget)
 	return t, nil
 }
 
@@ -287,10 +302,13 @@ func (t *Tree) PrefetchWorkers() int {
 	return t.prefetch.Workers()
 }
 
-// Flush writes all buffered pages through to the store and drains
-// whatever retired pages the current snapshot pins allow (writer-side,
-// like Commit).
+// Flush writes the buffered data page and all buffered node pages through
+// to the store and drains whatever retired pages the current snapshot pins
+// allow (writer-side, like Commit).
 func (t *Tree) Flush() error {
+	if err := t.data.Flush(); err != nil {
+		return err
+	}
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // DataFile stores variable-length object-detail records (serialized
@@ -11,9 +12,20 @@ import (
 // entries keep a DataAddr; the refinement step groups candidates by page so
 // each data page is read once per query — exactly the paper's "elements in
 // S_can are first grouped by their associated disk addresses".
+//
+// Appends are write-combined: the current append page is cached in memory
+// and mutated there, and Flush writes it to the store once — so a group
+// commit of N inserts costs one data-page write, not N read-modify-writes.
+// Reads (Read/ReadPage) always go to the store and never see the cache;
+// the owner flushes before any read that must observe uncommitted appends
+// (working-root queries) and before every commit, so snapshot readers —
+// which run lock-free against committed pages — never race the cache.
 type DataFile struct {
+	mu      sync.Mutex
 	store   Store
 	current PageID // page still accepting appends; InvalidPage when none
+	buf     []byte // cached copy of current; nil until first append needs it
+	dirty   bool   // buf has mutations the store has not seen
 }
 
 // DataAddr is the disk address of one record.
@@ -49,15 +61,55 @@ func OpenDataFileAt(store Store, last PageID) *DataFile {
 }
 
 // CurrentPage exposes the append page (persisted by index headers).
-func (df *DataFile) CurrentPage() PageID { return df.current }
+func (df *DataFile) CurrentPage() PageID {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.current
+}
 
-// SetCurrent rewinds the append page — the rollback path: a failed batch
-// may have advanced current to a page the rollback then frees, so the
-// writer restores the last committed append page. Records appended by the
-// failed batch stay as unreferenced slots; later appends go after them
-// (the slot directory lives in the page itself), so committed addresses
-// never change.
-func (df *DataFile) SetCurrent(id PageID) { df.current = id }
+// SetCurrent rewinds the append page and drops the append cache — the
+// rollback path: a failed batch may have advanced current to a page the
+// rollback then frees, and may have buffered appends that must not reach
+// the store. The next Append re-reads the committed page bytes (every
+// commit flushes first, so the store copy is the committed truth). Records
+// a failed batch already flushed stay as unreferenced slots; later appends
+// go after them (the slot directory lives in the page itself), so
+// committed addresses never change.
+func (df *DataFile) SetCurrent(id PageID) {
+	df.mu.Lock()
+	df.current = id
+	df.buf = nil
+	df.dirty = false
+	df.mu.Unlock()
+}
+
+// Dirty reports whether the append cache holds unflushed mutations.
+func (df *DataFile) Dirty() bool {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.dirty
+}
+
+// Flush writes the cached append page through to the store if it has
+// unflushed mutations. The owner calls it before commit (durability) and
+// before working-root queries (visibility); snapshot reads never need it.
+func (df *DataFile) Flush() error {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.flushLocked()
+}
+
+func (df *DataFile) flushLocked() error {
+	if !df.dirty {
+		return nil
+	}
+	markInPlace(df.store, df.current)
+	if err := df.store.Write(df.current, df.buf); err != nil {
+		return err
+	}
+	df.dirty = false
+	return nil
+}
 
 // inPlaceMarker is implemented by VersionedStore: slotted data pages are
 // legitimately written in place (appends never move committed records,
@@ -71,42 +123,51 @@ func markInPlace(s Store, id PageID) {
 	}
 }
 
-// Append stores rec and returns its address. Records larger than a page's
-// usable space are rejected.
+// Append stores rec in the in-memory append cache and returns its address;
+// the bytes reach the store at the next Flush. Records larger than a
+// page's usable space are rejected.
 func (df *DataFile) Append(rec []byte) (DataAddr, error) {
 	need := len(rec) + 4 // record + slot entry
 	if dataHeader+need > PageSize {
 		return DataAddr{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
 	}
-	buf := make([]byte, PageSize)
+	df.mu.Lock()
+	defer df.mu.Unlock()
 	if df.current != InvalidPage {
-		if err := df.store.Read(df.current, buf); err != nil {
-			return DataAddr{}, err
+		if df.buf == nil {
+			buf := make([]byte, PageSize)
+			if err := df.store.Read(df.current, buf); err != nil {
+				return DataAddr{}, err
+			}
+			df.buf = buf
 		}
-		if addr, ok, err := df.tryAppend(df.current, buf, rec); err != nil || ok {
-			return addr, err
+		if addr, ok := df.tryAppend(rec); ok {
+			return addr, nil
+		}
+		// Current page is full: flush it before moving on, or its last
+		// buffered records would be lost when the cache moves to a new page.
+		if err := df.flushLocked(); err != nil {
+			return DataAddr{}, err
 		}
 	}
 	id, err := df.store.Alloc()
 	if err != nil {
 		return DataAddr{}, err
 	}
-	for i := range buf {
-		buf[i] = 0
-	}
+	buf := make([]byte, PageSize)
 	binary.LittleEndian.PutUint16(buf[2:], PageSize) // free space grows down
 	df.current = id
-	addr, ok, err := df.tryAppend(id, buf, rec)
-	if err != nil {
-		return DataAddr{}, err
-	}
+	df.buf = buf
+	addr, ok := df.tryAppend(rec)
 	if !ok {
 		return DataAddr{}, ErrRecordTooLarge
 	}
 	return addr, nil
 }
 
-func (df *DataFile) tryAppend(id PageID, buf, rec []byte) (DataAddr, bool, error) {
+// tryAppend places rec in the cached page if it fits; caller holds df.mu.
+func (df *DataFile) tryAppend(rec []byte) (DataAddr, bool) {
+	buf := df.buf
 	count := int(binary.LittleEndian.Uint16(buf[0:]))
 	free := int(binary.LittleEndian.Uint16(buf[2:]))
 	if free == 0 {
@@ -114,7 +175,7 @@ func (df *DataFile) tryAppend(id PageID, buf, rec []byte) (DataAddr, bool, error
 	}
 	dirEnd := dataHeader + 4*(count+1)
 	if free-len(rec) < dirEnd {
-		return DataAddr{}, false, nil
+		return DataAddr{}, false
 	}
 	off := free - len(rec)
 	copy(buf[off:], rec)
@@ -122,11 +183,8 @@ func (df *DataFile) tryAppend(id PageID, buf, rec []byte) (DataAddr, bool, error
 	binary.LittleEndian.PutUint16(buf[dataHeader+4*count+2:], uint16(len(rec)))
 	binary.LittleEndian.PutUint16(buf[0:], uint16(count+1))
 	binary.LittleEndian.PutUint16(buf[2:], uint16(off))
-	markInPlace(df.store, id)
-	if err := df.store.Write(id, buf); err != nil {
-		return DataAddr{}, false, err
-	}
-	return DataAddr{Page: id, Slot: uint16(count)}, true, nil
+	df.dirty = true
+	return DataAddr{Page: df.current, Slot: uint16(count)}, true
 }
 
 // Read returns one record.
@@ -172,18 +230,41 @@ func recordFromPage(buf []byte, slot uint16) ([]byte, error) {
 	return out, nil
 }
 
-// Delete tombstones a record (its space is not reclaimed; compaction is a
-// rebuild concern, as in the paper where object details are write-once).
+// Delete tombstones one record; see DeleteBatch.
 func (df *DataFile) Delete(addr DataAddr) error {
-	buf := make([]byte, PageSize)
-	if err := df.store.Read(addr.Page, buf); err != nil {
-		return err
+	return df.DeleteBatch(addr.Page, []uint16{addr.Slot})
+}
+
+// DeleteBatch tombstones a set of records on one page in a single
+// read-modify-write (record space is not reclaimed; compaction is a
+// rebuild concern, as in the paper where object details are write-once).
+// This is the VersionedStore tombstoner: an epoch's deferred deletes
+// arrive here coalesced per page, and df.mu makes it safe to run from the
+// background reclaimer while the writer appends. Tombstones landing in the
+// cached append page become durable at the next Flush — acceptable,
+// because a tombstone's record is already unreferenced by the index.
+func (df *DataFile) DeleteBatch(page PageID, slots []uint16) error {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	buf := df.buf
+	cached := page == df.current && buf != nil
+	if !cached {
+		buf = make([]byte, PageSize)
+		if err := df.store.Read(page, buf); err != nil {
+			return err
+		}
 	}
 	count := binary.LittleEndian.Uint16(buf[0:])
-	if addr.Slot >= count {
-		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, addr.Slot, count)
+	for _, slot := range slots {
+		if slot >= count {
+			return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, count)
+		}
+		binary.LittleEndian.PutUint16(buf[dataHeader+4*int(slot)+2:], 0)
 	}
-	binary.LittleEndian.PutUint16(buf[dataHeader+4*int(addr.Slot)+2:], 0)
-	markInPlace(df.store, addr.Page)
-	return df.store.Write(addr.Page, buf)
+	if cached {
+		df.dirty = true
+		return nil
+	}
+	markInPlace(df.store, page)
+	return df.store.Write(page, buf)
 }

@@ -171,6 +171,53 @@ func (fs *FileStore) Free(id PageID) error {
 	return fs.writeHeader()
 }
 
+// SweepLeaked returns every page that is neither in `reachable` nor on the
+// free list to the free list, and reports the ids it reclaimed. This is
+// the open-time crash repair: a crash between an epoch's publication
+// (metadata write) and its garbage drain leaves the superseded shadow
+// pages allocated but unreferenced, and a crash mid-operation can leak
+// fresh pages the aborted batch never published. The caller passes the
+// set of pages reachable from the recovered root (nodes, data pages,
+// metadata). Each leaked page is linked into the free list before the
+// header is rewritten, so a crash mid-sweep at worst leaves some leaks for
+// the next sweep — never a corrupt list.
+func (fs *FileStore) SweepLeaked(reachable map[PageID]bool) ([]PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	onFree := make(map[PageID]bool)
+	buf := make([]byte, PageSize)
+	for id := fs.freeHead; id != InvalidPage; {
+		if onFree[id] || id == 0 || int(id) >= fs.numPages {
+			return nil, fmt.Errorf("pagefile: corrupt free list at page %d", id)
+		}
+		onFree[id] = true
+		if _, err := fs.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+			return nil, err
+		}
+		id = PageID(binary.LittleEndian.Uint32(buf[0:]))
+	}
+	var leaked []PageID
+	for p := 1; p < fs.numPages; p++ {
+		id := PageID(p)
+		if reachable[id] || onFree[id] {
+			continue
+		}
+		link := make([]byte, PageSize)
+		binary.LittleEndian.PutUint32(link[0:], uint32(fs.freeHead))
+		if _, err := fs.f.WriteAt(link, int64(id)*PageSize); err != nil {
+			return leaked, err
+		}
+		fs.freeHead = id
+		fs.liveN--
+		fs.stats.Frees.Add(1)
+		leaked = append(leaked, id)
+	}
+	if len(leaked) == 0 {
+		return nil, nil
+	}
+	return leaked, fs.writeHeader()
+}
+
 func (fs *FileStore) NumPages() int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

@@ -273,6 +273,10 @@ func TestDataFileAppendRead(t *testing.T) {
 		}
 		addrs[i] = a
 	}
+	// Appends are write-combined; reads go to the store, so flush first.
+	if err := df.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	for i, a := range addrs {
 		got, err := df.Read(a)
 		if err != nil {
@@ -326,6 +330,9 @@ func TestDataFileDelete(t *testing.T) {
 	if err := df.Delete(a); err != nil {
 		t.Fatal(err)
 	}
+	if err := df.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := df.Read(a); !errors.Is(err, ErrBadSlot) {
 		t.Fatalf("deleted record read: %v", err)
 	}
@@ -342,6 +349,9 @@ func TestDataFileReadPageGrouping(t *testing.T) {
 	a2, _ := df.Append([]byte("two"))
 	if a1.Page != a2.Page {
 		t.Fatal("expected same page")
+	}
+	if err := df.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	s.Stats().Reset()
 	page, err := df.ReadPage(a1.Page)
@@ -391,6 +401,9 @@ func TestDataFileManyRecordsStress(t *testing.T) {
 			t.Fatal(err)
 		}
 		all = append(all, kept{a, rec})
+	}
+	if err := df.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	for i, k := range all {
 		got, err := df.Read(k.addr)

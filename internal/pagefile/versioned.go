@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // VersionedStore layers copy-on-write epoch semantics over a Store — the
@@ -30,10 +32,13 @@ import (
 // ErrCOWViolation, which is the safety net that turns a missed relocation
 // into a test failure instead of silent snapshot corruption.
 //
-// Reclamation runs on the writer's side only (Commit, Reclaim, or the
+// Reclamation normally runs on the writer's side (Commit, Reclaim, or the
 // owner's Flush/Close) so a reader releasing the last pin never pays the
 // physical free/tombstone I/O; until the next writer-side call the
-// garbage is merely retained, never lost.
+// garbage is merely retained, never lost. With the background reclaimer
+// started (StartReclaimer), reclamation leaves the commit path entirely:
+// Commit only queues the batch's garbage, and a dedicated goroutine drains
+// quiesced epochs under a per-tick page budget.
 type VersionedStore struct {
 	inner Store
 	pool  *BufferPool // optional: invalidated on physical free
@@ -47,16 +52,45 @@ type VersionedStore struct {
 	batch   garbage   // open (uncommitted) batch
 	pending []garbage // committed garbage awaiting pin drain
 
+	// tombstoner applies a batch of record tombstones to one data page in a
+	// single read-modify-write (DataFile.DeleteBatch); registered once at
+	// tree construction, before any DeferTombstone call.
+	tombstoner func(PageID, []uint16) error
+
 	reclaimErr error // first deferred-reclaim failure, surfaced at next Commit/Reclaim
+
+	// reclaimMu serializes physical drains: writer-side Reclaim/Commit and
+	// the background reclaimer must not interleave their free/tombstone I/O
+	// (a partially drained batch is held outside pending while its pages
+	// are freed).
+	reclaimMu sync.Mutex
+
+	bgRunning bool // background reclaimer lifecycle, under mu
+	bgStop    chan struct{}
+	bgDone    chan struct{}
+
+	reclaimedPages      atomic.Int64
+	reclaimedTombstones atomic.Int64
 }
 
 // garbage is one commit's deferred work: pages dead as of that epoch and
-// reclaim hooks (data-record tombstones) that must not run while an older
-// snapshot could still read the records.
+// data-record tombstones that must not run while an older snapshot could
+// still read the records, batched per data page so reclaiming an epoch
+// costs one read-modify-write per touched page, not one per record.
 type garbage struct {
-	epoch     uint64
-	pages     []PageID
-	onReclaim []func() error
+	epoch      uint64
+	pages      []PageID
+	tombstones map[PageID][]uint16
+}
+
+func (g *garbage) empty() bool { return len(g.pages) == 0 && len(g.tombstones) == 0 }
+
+func (g *garbage) tombstoneCount() int {
+	n := 0
+	for _, slots := range g.tombstones {
+		n += len(slots)
+	}
+	return n
 }
 
 // ErrCOWViolation reports an in-place write to a committed page that was
@@ -131,12 +165,27 @@ func (v *VersionedStore) Free(id PageID) error {
 	return nil
 }
 
-// Deferred registers a reclaim hook with the open batch; it runs when the
-// batch's commit becomes unreachable by any snapshot (the data-record
-// tombstone path).
-func (v *VersionedStore) Deferred(fn func() error) {
+// SetTombstoner registers the function that applies a batch of record
+// tombstones to one data page in a single read-modify-write (the owner's
+// DataFile.DeleteBatch). Register before the first DeferTombstone; with no
+// tombstoner registered, deferred tombstones are dropped at reclaim time
+// (the records are unreferenced either way — a tombstone only compacts).
+func (v *VersionedStore) SetTombstoner(fn func(PageID, []uint16) error) {
 	v.mu.Lock()
-	v.batch.onReclaim = append(v.batch.onReclaim, fn)
+	v.tombstoner = fn
+	v.mu.Unlock()
+}
+
+// DeferTombstone queues a data-record tombstone with the open batch,
+// coalesced per page: however many records on a page die in this epoch,
+// reclaiming the epoch rewrites that page exactly once. The tombstone runs
+// only after the batch's commit is unreachable by any snapshot.
+func (v *VersionedStore) DeferTombstone(page PageID, slot uint16) {
+	v.mu.Lock()
+	if v.batch.tombstones == nil {
+		v.batch.tombstones = make(map[PageID][]uint16)
+	}
+	v.batch.tombstones[page] = append(v.batch.tombstones[page], slot)
 	v.mu.Unlock()
 }
 
@@ -186,18 +235,21 @@ func (v *VersionedStore) State() any {
 // committed state, atomically with the epoch bump: a Pin issued after
 // Commit returns sees the new state, one issued before keeps the old
 // epoch's pages alive. The caller must have made the batch durable first
-// (buffer-pool flush, metadata write). Commit also drains whatever
-// garbage the current pins allow, but a drain failure never fails the
-// commit — the epoch is already published, so reporting it here would
-// make a durable mutation look failed (and trigger a bogus rollback).
-// Drain errors are stashed and surfaced by the next Reclaim (or the
-// owner's Flush); a page whose free failed is leaked until the store
-// closes, never corrupted.
+// (data flush, buffer-pool flush, metadata write).
+//
+// Without the background reclaimer, Commit also drains whatever garbage
+// the current pins allow; with it running, Commit only queues the batch —
+// reclamation happens on the reclaimer's ticks, off the commit path. A
+// drain failure never fails the commit — the epoch is already published,
+// so reporting it here would make a durable mutation look failed (and
+// trigger a bogus rollback). Drain errors are stashed and surfaced by the
+// next Reclaim (or the owner's Flush); a page whose free failed is leaked
+// until the store closes, never corrupted.
 func (v *VersionedStore) Commit(state any) error {
 	v.mu.Lock()
 	v.epoch++
 	v.state = state
-	if len(v.batch.pages) > 0 || len(v.batch.onReclaim) > 0 {
+	if !v.batch.empty() {
 		v.batch.epoch = v.epoch
 		v.pending = append(v.pending, v.batch)
 	}
@@ -205,9 +257,11 @@ func (v *VersionedStore) Commit(state any) error {
 	for id := range v.fresh {
 		delete(v.fresh, id)
 	}
-	drain := v.collectDrainableLocked()
+	bg := v.bgRunning
 	v.mu.Unlock()
-	_ = v.drainGarbage(drain) // errors stashed in reclaimErr
+	if !bg {
+		v.reclaimSome(0) // errors stashed in reclaimErr
+	}
 	return nil
 }
 
@@ -264,18 +318,84 @@ func (v *VersionedStore) Pin() (state any, epoch uint64, release func()) {
 
 // Reclaim drains every garbage batch the current pins allow: a batch
 // freed at commit E is reclaimable once no snapshot pinned at an epoch
-// < E remains. Writer-side only (the tree's commit path, Flush, Close,
-// tests); must not run concurrently with itself.
+// < E remains. Unbudgeted; safe to call concurrently with the background
+// reclaimer (reclaimMu serializes the physical work). Returns and clears
+// the first stashed reclaim error, its own included.
 func (v *VersionedStore) Reclaim() error {
+	v.reclaimSome(0)
 	v.mu.Lock()
-	drain := v.collectDrainableLocked()
 	err := v.reclaimErr
 	v.reclaimErr = nil
 	v.mu.Unlock()
-	if derr := v.drainGarbage(drain); err == nil {
-		err = derr
-	}
 	return err
+}
+
+// DefaultReclaimBudget is the background reclaimer's per-tick page budget
+// when the caller passes one <= 0: one budget unit is one page operation
+// (a tombstone read-modify-write or a page free).
+const DefaultReclaimBudget = 128
+
+// StartReclaimer starts the background reclaimer: a goroutine that every
+// interval drains quiesced epochs, at most pageBudget page operations per
+// tick, so a burst of commits never stalls the writer on reclamation I/O
+// and garbage drains even while the writer idles. While it runs, Commit no
+// longer drains inline. Pinned snapshots stay safe: the reclaimer only
+// collects batches no live pin predates. No-op when already running or
+// interval <= 0; pageBudget <= 0 means DefaultReclaimBudget.
+func (v *VersionedStore) StartReclaimer(interval time.Duration, pageBudget int) {
+	if interval <= 0 {
+		return
+	}
+	if pageBudget <= 0 {
+		pageBudget = DefaultReclaimBudget
+	}
+	v.mu.Lock()
+	if v.bgRunning {
+		v.mu.Unlock()
+		return
+	}
+	v.bgRunning = true
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	v.bgStop, v.bgDone = stop, done
+	v.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				v.reclaimSome(pageBudget) // errors stashed in reclaimErr
+			}
+		}
+	}()
+}
+
+// StopReclaimer stops the background reclaimer and waits out any in-flight
+// tick; whatever it had not yet drained is picked up by the next
+// writer-side Commit or Reclaim. Idempotent.
+func (v *VersionedStore) StopReclaimer() {
+	v.mu.Lock()
+	if !v.bgRunning {
+		v.mu.Unlock()
+		return
+	}
+	v.bgRunning = false
+	stop, done := v.bgStop, v.bgDone
+	v.bgStop, v.bgDone = nil, nil
+	v.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// ReclaimerRunning reports whether the background reclaimer is active.
+func (v *VersionedStore) ReclaimerRunning() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.bgRunning
 }
 
 // collectDrainableLocked removes and returns the pending batches whose
@@ -300,20 +420,49 @@ func (v *VersionedStore) collectDrainableLocked() []garbage {
 	return drain
 }
 
-// drainGarbage physically frees the collected batches outside the mutex:
-// reclaim hooks first (tombstones touch still-live data pages), then page
-// frees, invalidating any cached frame before the slot can be recycled.
-// The first failure is stashed in reclaimErr (surfaced by Reclaim) as
-// well as returned.
-func (v *VersionedStore) drainGarbage(drain []garbage) error {
+// reclaimSome collects the drainable batches and physically reclaims up to
+// budget page operations (0 = unlimited) outside v.mu: per batch, the
+// coalesced per-page tombstone writes first (the records' pages are still
+// live; the batch's own dead pages must not be recycled under them), then
+// the page frees, invalidating any cached frame before the slot can be
+// recycled. When the budget runs out, the partially drained batch and
+// everything after it go back to the FRONT of pending, preserving epoch
+// order for the next tick. reclaimMu serializes the physical work against
+// concurrent drains; failures are stashed in reclaimErr and the work is
+// counted done regardless (an unfreed page is leaked, never corrupted).
+func (v *VersionedStore) reclaimSome(budget int) int {
+	v.reclaimMu.Lock()
+	defer v.reclaimMu.Unlock()
+	v.mu.Lock()
+	drain := v.collectDrainableLocked()
+	tomb := v.tombstoner
+	v.mu.Unlock()
 	var first error
-	for _, g := range drain {
-		for _, fn := range g.onReclaim {
-			if err := fn(); err != nil && first == nil {
-				first = err
+	done := 0
+	for i := range drain {
+		g := &drain[i]
+		for page, slots := range g.tombstones {
+			if budget > 0 && done >= budget {
+				v.requeueFront(drain[i:], first)
+				return done
 			}
+			if tomb != nil {
+				if err := tomb(page, slots); err != nil && first == nil {
+					first = err
+				}
+			}
+			v.reclaimedTombstones.Add(int64(len(slots)))
+			delete(g.tombstones, page)
+			done++
 		}
-		for _, id := range g.pages {
+		g.tombstones = nil
+		for len(g.pages) > 0 {
+			if budget > 0 && done >= budget {
+				v.requeueFront(drain[i:], first)
+				return done
+			}
+			id := g.pages[0]
+			g.pages = g.pages[1:]
 			if v.pool != nil {
 				v.pool.Invalidate(id)
 			}
@@ -323,16 +472,42 @@ func (v *VersionedStore) drainGarbage(drain []garbage) error {
 			if err := v.inner.Free(id); err != nil && first == nil {
 				first = err
 			}
+			v.reclaimedPages.Add(1)
+			done++
 		}
 	}
-	if first != nil {
-		v.mu.Lock()
-		if v.reclaimErr == nil {
-			v.reclaimErr = first
+	v.stashReclaimErr(first)
+	return done
+}
+
+// requeueFront pushes the batches a budget cutoff left undrained back at
+// the front of pending (epoch order preserved) and stashes err.
+func (v *VersionedStore) requeueFront(rest []garbage, err error) {
+	kept := make([]garbage, 0, len(rest))
+	for i := range rest {
+		if !rest[i].empty() {
+			kept = append(kept, rest[i])
 		}
-		v.mu.Unlock()
 	}
-	return first
+	v.mu.Lock()
+	if len(kept) > 0 {
+		v.pending = append(kept, v.pending...)
+	}
+	if err != nil && v.reclaimErr == nil {
+		v.reclaimErr = err
+	}
+	v.mu.Unlock()
+}
+
+func (v *VersionedStore) stashReclaimErr(err error) {
+	if err == nil {
+		return
+	}
+	v.mu.Lock()
+	if v.reclaimErr == nil {
+		v.reclaimErr = err
+	}
+	v.mu.Unlock()
 }
 
 // GCStats reports the collector's state: the committed epoch, live pins,
@@ -349,6 +524,59 @@ func (v *VersionedStore) GCStats() (epoch uint64, pins int, pendingPages int) {
 	}
 	pendingPages += len(v.batch.pages)
 	return v.epoch, pins, pendingPages
+}
+
+// GCInfo is the collector's full health report: epoch and pin state,
+// garbage awaiting reclamation (uncommitted batch included), lifetime
+// reclaim counters, and whether the background reclaimer is running.
+type GCInfo struct {
+	Epoch               uint64 `json:"epoch"`
+	Pins                int    `json:"pins"`
+	PendingEpochs       int    `json:"pending_epochs"`
+	PendingPages        int    `json:"pending_pages"`
+	PendingTombstones   int    `json:"pending_tombstones"`
+	ReclaimedPages      int64  `json:"reclaimed_pages"`
+	ReclaimedTombstones int64  `json:"reclaimed_tombstones"`
+	ReclaimerRunning    bool   `json:"reclaimer_running"`
+}
+
+// Add merges o into g — the shard-aggregation rule: epochs take the max,
+// counters sum, and the running flag ORs.
+func (g *GCInfo) Add(o GCInfo) {
+	if o.Epoch > g.Epoch {
+		g.Epoch = o.Epoch
+	}
+	g.Pins += o.Pins
+	g.PendingEpochs += o.PendingEpochs
+	g.PendingPages += o.PendingPages
+	g.PendingTombstones += o.PendingTombstones
+	g.ReclaimedPages += o.ReclaimedPages
+	g.ReclaimedTombstones += o.ReclaimedTombstones
+	g.ReclaimerRunning = g.ReclaimerRunning || o.ReclaimerRunning
+}
+
+// GCInfo reports the collector's full state; see GCStats for the compact
+// 3-tuple form.
+func (v *VersionedStore) GCInfo() GCInfo {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	info := GCInfo{
+		Epoch:               v.epoch,
+		PendingEpochs:       len(v.pending),
+		ReclaimedPages:      v.reclaimedPages.Load(),
+		ReclaimedTombstones: v.reclaimedTombstones.Load(),
+		ReclaimerRunning:    v.bgRunning,
+	}
+	for _, n := range v.pins {
+		info.Pins += n
+	}
+	for i := range v.pending {
+		info.PendingPages += len(v.pending[i].pages)
+		info.PendingTombstones += v.pending[i].tombstoneCount()
+	}
+	info.PendingPages += len(v.batch.pages)
+	info.PendingTombstones += v.batch.tombstoneCount()
+	return info
 }
 
 func (v *VersionedStore) NumPages() int { return v.inner.NumPages() }

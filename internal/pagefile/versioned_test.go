@@ -3,6 +3,7 @@ package pagefile
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func fill(b byte) []byte {
@@ -54,7 +55,14 @@ func TestVersionedDeferredFreeAndPins(t *testing.T) {
 		t.Fatal(err)
 	}
 	tombstoned := false
-	vs.Deferred(func() error { tombstoned = true; return nil })
+	vs.SetTombstoner(func(page PageID, slots []uint16) error {
+		if page != 42 || len(slots) != 1 || slots[0] != 3 {
+			t.Errorf("tombstoner got page %d slots %v, want 42/[3]", page, slots)
+		}
+		tombstoned = true
+		return nil
+	})
+	vs.DeferTombstone(42, 3)
 	if err := vs.Commit(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -65,20 +73,20 @@ func TestVersionedDeferredFreeAndPins(t *testing.T) {
 		t.Fatalf("pinned read: err=%v buf[0]=%d", err, buf[0])
 	}
 	if tombstoned {
-		t.Fatal("deferred hook ran while an older snapshot was pinned")
+		t.Fatal("deferred tombstone ran while an older snapshot was pinned")
 	}
 	if _, pins, pending := vs.GCStats(); pins != 1 || pending != 1 {
 		t.Fatalf("GCStats pins=%d pending=%d, want 1/1", pins, pending)
 	}
 
-	// Release + writer-side reclaim frees the page and runs the hook.
+	// Release + writer-side reclaim frees the page and runs the tombstone.
 	release()
 	release() // idempotent
 	if err := vs.Reclaim(); err != nil {
 		t.Fatal(err)
 	}
 	if !tombstoned {
-		t.Fatal("deferred hook did not run after the pin drained")
+		t.Fatal("deferred tombstone did not run after the pin drained")
 	}
 	if err := vs.Read(old, buf); err == nil {
 		t.Fatal("read of reclaimed page succeeded")
@@ -143,6 +151,148 @@ func TestVersionedRollback(t *testing.T) {
 	}
 	if err := vs.Read(committed, buf); err != nil || buf[0] != 3 {
 		t.Fatalf("committed page after post-rollback commit: err=%v buf[0]=%d", err, buf[0])
+	}
+}
+
+func TestVersionedTombstonesCoalescePerPage(t *testing.T) {
+	vs := NewVersionedStore(NewMemStore(), 0)
+	calls := 0
+	slotsSeen := 0
+	vs.SetTombstoner(func(page PageID, slots []uint16) error {
+		calls++
+		slotsSeen += len(slots)
+		return nil
+	})
+	// Five records die on page 7, two on page 9, all in one epoch.
+	for slot := uint16(0); slot < 5; slot++ {
+		vs.DeferTombstone(7, slot)
+	}
+	vs.DeferTombstone(9, 0)
+	vs.DeferTombstone(9, 1)
+	if info := vs.GCInfo(); info.PendingTombstones != 7 {
+		t.Fatalf("pending tombstones %d, want 7", info.PendingTombstones)
+	}
+	if err := vs.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || slotsSeen != 7 {
+		t.Fatalf("tombstoner ran %d times over %d slots, want one r-m-w per page: 2/7", calls, slotsSeen)
+	}
+	info := vs.GCInfo()
+	if info.PendingTombstones != 0 || info.ReclaimedTombstones != 7 {
+		t.Fatalf("after commit: pending %d reclaimed %d, want 0/7", info.PendingTombstones, info.ReclaimedTombstones)
+	}
+}
+
+func TestVersionedBudgetedReclaimPreservesOrder(t *testing.T) {
+	inner := NewMemStore()
+	vs := NewVersionedStore(inner, 0)
+	// Two committed epochs, each retiring two pages.
+	var retired []PageID
+	for e := 0; e < 2; e++ {
+		var fresh []PageID
+		for i := 0; i < 2; i++ {
+			id, _ := vs.Alloc()
+			if err := vs.Write(id, fill(byte(e+1))); err != nil {
+				t.Fatal(err)
+			}
+			fresh = append(fresh, id)
+		}
+		if err := vs.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+		// Pin blocks the drain so the frees queue up across commits.
+		_, _, release := vs.Pin()
+		for _, id := range fresh {
+			if err := vs.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		retired = append(retired, fresh...)
+		if err := vs.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	// The second epoch's pin blocked its drain; 2 pages from each round may
+	// remain. Reclaim with budget 1 three times: pages must drain oldest
+	// epoch first, remainder requeued.
+	info := vs.GCInfo()
+	if info.PendingPages == 0 {
+		t.Skip("all garbage drained eagerly; nothing to budget")
+	}
+	start := info.ReclaimedPages
+	for vs.GCInfo().PendingPages > 0 {
+		before := vs.GCInfo().PendingPages
+		if n := vs.reclaimSome(1); n != 1 {
+			t.Fatalf("budget-1 tick reclaimed %d ops", n)
+		}
+		if after := vs.GCInfo().PendingPages; after != before-1 {
+			t.Fatalf("pending went %d -> %d on a budget-1 tick", before, after)
+		}
+	}
+	if got := vs.GCInfo().ReclaimedPages - start; got == 0 {
+		t.Fatal("no pages reclaimed")
+	}
+	for _, id := range retired {
+		buf := make([]byte, PageSize)
+		if err := vs.Read(id, buf); err == nil {
+			t.Fatalf("retired page %d still readable after full drain", id)
+		}
+	}
+}
+
+func TestVersionedBackgroundReclaimerDrainsWhileIdle(t *testing.T) {
+	inner := NewMemStore()
+	vs := NewVersionedStore(inner, 0)
+	vs.StartReclaimer(time.Millisecond, 4)
+	defer vs.StopReclaimer()
+	vs.StartReclaimer(time.Millisecond, 4) // idempotent
+	if !vs.ReclaimerRunning() {
+		t.Fatal("reclaimer not running")
+	}
+	// Retire 20 pages across several epochs; Commit must NOT drain inline
+	// while the reclaimer runs, and the reclaimer must drain them all with
+	// no further writer activity.
+	for e := 0; e < 5; e++ {
+		var fresh []PageID
+		for i := 0; i < 4; i++ {
+			id, _ := vs.Alloc()
+			if err := vs.Write(id, fill(9)); err != nil {
+				t.Fatal(err)
+			}
+			fresh = append(fresh, id)
+		}
+		if err := vs.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range fresh {
+			if err := vs.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := vs.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info := vs.GCInfo()
+		if info.PendingPages == 0 && info.PendingTombstones == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reclaimer did not drain: %+v", info)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := inner.NumPages(); n != 0 {
+		t.Fatalf("%d pages live after idle drain", n)
+	}
+	vs.StopReclaimer()
+	vs.StopReclaimer() // idempotent
+	if vs.ReclaimerRunning() {
+		t.Fatal("reclaimer still running after stop")
 	}
 }
 

@@ -21,6 +21,15 @@ import (
 type ConcurrentTree struct {
 	mu   sync.Mutex // serializes writers; the read path takes no lock
 	tree *Tree
+
+	// Group-commit deadline timer (Config.GroupCommitInterval > 0): a bare
+	// Tree only checks the deadline when the next mutation arrives, so an
+	// idle writer's tail would sit uncommitted; the timer seals it within
+	// roughly the interval. tickErr stashes a timer-side commit failure,
+	// surfaced at the next Flush or Close.
+	tickStop chan struct{}
+	tickDone chan struct{}
+	tickErr  error // under mu
 }
 
 // NewConcurrentTree creates a snapshot-isolated index.
@@ -29,22 +38,87 @@ func NewConcurrentTree(cfg Config) (*ConcurrentTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentTree{tree: t}, nil
+	c := &ConcurrentTree{tree: t}
+	c.startGroupTimer(cfg.GroupCommitInterval)
+	return c, nil
 }
 
-// Insert adds an object (writer lock; commits as its own epoch).
+// startGroupTimer arms the group-commit deadline timer; no-op without an
+// interval.
+func (c *ConcurrentTree) startGroupTimer(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	period := interval / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	c.tickStop = make(chan struct{})
+	c.tickDone = make(chan struct{})
+	go func() {
+		defer close(c.tickDone)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.tickStop:
+				return
+			case <-tick.C:
+				c.mu.Lock()
+				if ops, age := c.tree.pendingGroup(); ops > 0 && age >= interval {
+					if err := c.tree.commitPending(); err != nil && c.tickErr == nil {
+						c.tickErr = err
+					}
+				}
+				c.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// stopGroupTimer stops the deadline timer; idempotent.
+func (c *ConcurrentTree) stopGroupTimer() {
+	if c.tickStop == nil {
+		return
+	}
+	close(c.tickStop)
+	<-c.tickDone
+	c.tickStop, c.tickDone = nil, nil
+}
+
+// takeTickErr returns and clears a stashed timer-side commit failure.
+// Caller holds c.mu.
+func (c *ConcurrentTree) takeTickErr() error {
+	err := c.tickErr
+	c.tickErr = nil
+	return err
+}
+
+// Insert adds an object (writer lock; commit granularity follows the
+// group-commit policy — its own epoch by default).
 func (c *ConcurrentTree) Insert(id int64, pdf PDF) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.Insert(id, pdf)
 }
 
-// Delete removes an object by ID (writer lock; commits as its own epoch —
-// snapshots pinned before the commit still see the object).
+// Delete removes an object by ID (writer lock; commit granularity follows
+// the group-commit policy — snapshots pinned before the group's commit
+// still see the object).
 func (c *ConcurrentTree) Delete(id int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.tree.Delete(id)
+}
+
+// WriteBatch runs fn under the writer lock and commits its mutations as
+// ONE epoch: concurrent readers — who pin snapshots without the lock —
+// observe either none of the batch or all of it, never a prefix. See
+// Tree.WriteBatch for the rollback contract.
+func (c *ConcurrentTree) WriteBatch(fn func(BatchWriter) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.WriteBatch(fn)
 }
 
 // BulkLoad batch-builds an empty index (writer lock; one epoch for the
@@ -100,6 +174,9 @@ func (c *ConcurrentTree) GCStats() (epoch uint64, pins int, pendingPages int) {
 	return c.tree.GCStats()
 }
 
+// GCInfo reports the epoch collector's full health (see Tree.GCInfo).
+func (c *ConcurrentTree) GCInfo() GCInfo { return c.tree.GCInfo() }
+
 // SetSimulatedPageLatency re-arms the simulated storage latency (see
 // Tree.SetSimulatedPageLatency); safe to call concurrently with queries.
 // A tooling hook for build-then-measure harnesses — not part of the Index
@@ -108,12 +185,18 @@ func (c *ConcurrentTree) SetSimulatedPageLatency(d time.Duration) {
 	c.tree.SetSimulatedPageLatency(d)
 }
 
-// Flush writes buffered dirty pages through to the store and drains
-// retired pages the current snapshot pins allow (writer lock).
+// Flush seals any open commit group, writes buffered dirty pages through
+// to the store and drains retired pages the current snapshot pins allow
+// (writer lock). Also surfaces any commit failure stashed by the
+// group-deadline timer.
 func (c *ConcurrentTree) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tree.Flush()
+	err := c.tree.Flush()
+	if terr := c.takeTickErr(); err == nil {
+		err = terr
+	}
+	return err
 }
 
 // Len returns the object count of the latest committed epoch (lock-free;
@@ -130,11 +213,18 @@ func (c *ConcurrentTree) CheckInvariants() error {
 	return snap.CheckInvariants()
 }
 
-// Close commits final state and closes the underlying tree (writer lock).
+// Close stops the group-deadline timer, commits final state (sealing any
+// open group) and closes the underlying tree (writer lock). A commit
+// failure stashed by the timer surfaces here if no Flush saw it first.
 func (c *ConcurrentTree) Close() error {
+	c.stopGroupTimer()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tree.Close()
+	err := c.tree.Close()
+	if terr := c.takeTickErr(); err == nil {
+		err = terr
+	}
+	return err
 }
 
 // Snapshot is a pinned, immutable view of one committed epoch of a

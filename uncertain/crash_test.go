@@ -176,6 +176,138 @@ func TestCrashRecoveryKilledInsert(t *testing.T) {
 		})
 }
 
+// TestCrashRecoveryKilledBatch sweeps a crash through a multi-op
+// WriteBatch: three far-away inserts plus the delete of the golden
+// victim, published as ONE epoch. Recovery must land exactly on a batch
+// boundary — the recovered tree holds either the full batch or none of
+// it, never two of the inserts or the delete alone.
+func TestCrashRecoveryKilledBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep skipped in -short")
+	}
+	cfg := Config{Dimensions: 2, ExactRefinement: true, Seed: 5}
+	path := filepath.Join(t.TempDir(), "golden.utree")
+	gcfg := cfg
+	gcfg.Path = path
+	wantLen, want := buildCrashGolden(t, path, gcfg)
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := crashQueries()
+
+	runCrashSweep(t, golden, cfg, queries,
+		func(tree *Tree) error {
+			return tree.WriteBatch(func(w BatchWriter) error {
+				for i := int64(0); i < 3; i++ {
+					if err := w.Insert(9100+i, UniformCircle(Pt(5000+float64(i)*40, 5000), 12)); err != nil {
+						return err
+					}
+				}
+				return w.DeleteWithRegion(9000, Box(Pt(5988, 5988), Pt(6012, 6012)))
+			})
+		},
+		func(t *testing.T, k int, rt *Tree, opOK bool) {
+			got := crashSearchAll(t, rt, queries)
+			requireSameResults(t, "recovered", want, got)
+			// Batch boundary: +3 inserts, -1 delete when the batch epoch
+			// published; byte-identical golden state when it did not.
+			switch {
+			case opOK && rt.Len() == wantLen+2:
+			case !opOK && rt.Len() == wantLen:
+			default:
+				t.Fatalf("offset %d: opOK=%v but recovered Len %d (batch atomicity: want %d on failure, %d on success)",
+					k, opOK, rt.Len(), wantLen, wantLen+2)
+			}
+		})
+}
+
+// TestOpenTreeSweepsLeakedPages is the regression test for the open-time
+// reachability sweep: kill an insert at every store-operation offset and
+// require that reopening leaves NO unreachable live page — every page the
+// crash leaked (aborted shadow copies, unpublished fresh pages, undrained
+// epoch garbage) is back on the free list. At least one offset must
+// actually leak, or the test isn't testing the sweep.
+func TestOpenTreeSweepsLeakedPages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep skipped in -short")
+	}
+	cfg := Config{Dimensions: 2, ExactRefinement: true, Seed: 5}
+	path := filepath.Join(t.TempDir(), "golden.utree")
+	gcfg := cfg
+	gcfg.Path = path
+	buildCrashGolden(t, path, gcfg)
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := filepath.Join(t.TempDir(), "leak.utree")
+	sweptAny := false
+	for k := 0; ; k++ {
+		if k > 500 {
+			t.Fatal("leak sweep did not terminate: operation exceeds 500 store ops")
+		}
+		if err := os.WriteFile(work, golden, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var fault *pagefile.FaultStore
+		fcfg := cfg
+		fcfg.WrapStore = func(s pagefile.Store) pagefile.Store {
+			fault = pagefile.NewFaultStore(s, int64(k))
+			return fault
+		}
+		survived := false
+		tree, err := OpenTree(work, fcfg)
+		if err == nil {
+			opErr := tree.Insert(9100, UniformCircle(Pt(5000, 5000), 12))
+			survived = opErr == nil && fault.Remaining() > 0
+			if err := tree.Discard(); err != nil {
+				t.Fatalf("offset %d: discard: %v", k, err)
+			}
+		}
+
+		// Live-page count as the crash left it (Alloc persists the header,
+		// so leaked fresh pages are counted live here).
+		raw, err := pagefile.OpenFileStore(work)
+		if err != nil {
+			t.Fatalf("offset %d: raw reopen: %v", k, err)
+		}
+		liveBefore := raw.NumPages()
+		if err := raw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rt, err := OpenTree(work, cfg)
+		if err != nil {
+			t.Fatalf("offset %d: reopen after crash: %v", k, err)
+		}
+		reach, err := rt.inner.ReachablePages()
+		if err != nil {
+			t.Fatalf("offset %d: reachable walk: %v", k, err)
+		}
+		reach[pagefile.PageID(1)] = true // metadata page
+		if live := rt.file.NumPages(); live != len(reach) {
+			t.Fatalf("offset %d: %d live pages but only %d reachable — sweep left leaks", k, live, len(reach))
+		}
+		if rt.file.NumPages() < liveBefore {
+			sweptAny = true
+		}
+		if err := rt.CheckInvariants(); err != nil {
+			t.Fatalf("offset %d: recovered invariants: %v", k, err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if survived {
+			break
+		}
+	}
+	if !sweptAny {
+		t.Fatal("no crash offset leaked a page; the sweep was never exercised")
+	}
+}
+
 func TestCrashRecoveryKilledDelete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("crash sweep skipped in -short")

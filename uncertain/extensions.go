@@ -47,6 +47,9 @@ func (t *Tree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...Que
 // whole load commits as a single epoch: snapshots see either the empty
 // tree or the complete load, never a partial one.
 func (t *Tree) BulkLoad(objects map[int64]PDF) error {
+	if err := t.commitPending(); err != nil {
+		return err
+	}
 	objs := make([]core.Object, 0, len(objects))
 	for id, p := range objects {
 		objs = append(objs, core.Object{ID: id, PDF: p})

@@ -32,6 +32,14 @@ type Index interface {
 	Delete(id int64) error
 	// BulkLoad batch-builds an empty index bottom-up.
 	BulkLoad(objects map[int64]PDF) error
+	// WriteBatch applies fn's mutations as one commit epoch (per shard for
+	// sharded indexes): readers observe the whole batch or none of it, and
+	// file-backed durability moves in batch granularity.
+	WriteBatch(fn func(BatchWriter) error) error
+	// GCInfo reports epoch-collector health: pending epochs, pages and
+	// tombstones, lifetime reclaim counters, and whether the background
+	// reclaimer runs (merged over shards for sharded indexes).
+	GCInfo() GCInfo
 	// Search answers a probabilistic range query: objects appearing in rect
 	// with probability ≥ prob. A cancelled or deadline-exceeded ctx stops
 	// the traversal promptly with ctx.Err() and the partial results found

@@ -90,6 +90,84 @@ func (s *ShardedTree) Delete(id int64) error {
 	return s.shardFor(id).Delete(id)
 }
 
+// shardOp is one buffered mutation of a sharded WriteBatch.
+type shardOp struct {
+	insert bool
+	id     int64
+	pdf    PDF
+	mbr    Rect
+	hasMBR bool
+}
+
+// shardedBatch buffers a WriteBatch's mutations, routed per shard, without
+// applying anything — replay happens after fn returns successfully.
+type shardedBatch struct {
+	s   *ShardedTree
+	ops [][]shardOp
+}
+
+func (b *shardedBatch) Insert(id int64, pdf PDF) error {
+	i := b.s.shardIndex(id)
+	b.ops[i] = append(b.ops[i], shardOp{insert: true, id: id, pdf: pdf})
+	return nil
+}
+
+func (b *shardedBatch) Delete(id int64) error {
+	i := b.s.shardIndex(id)
+	b.ops[i] = append(b.ops[i], shardOp{id: id})
+	return nil
+}
+
+func (b *shardedBatch) DeleteWithRegion(id int64, regionMBR Rect) error {
+	i := b.s.shardIndex(id)
+	b.ops[i] = append(b.ops[i], shardOp{id: id, mbr: regionMBR, hasMBR: true})
+	return nil
+}
+
+// WriteBatch buffers fn's mutations, partitions them by ID hash, and
+// commits each shard's share as one per-shard batch, all shards
+// concurrently. Atomicity is PER SHARD: within a shard readers see none or
+// all of its share; across shards a reader may briefly observe some shards
+// committed and others not (and a failed shard rolls back only its own
+// share). fn itself runs before anything is applied, so an fn error has
+// zero side effects.
+func (s *ShardedTree) WriteBatch(fn func(BatchWriter) error) error {
+	b := &shardedBatch{s: s, ops: make([][]shardOp, len(s.shards))}
+	if err := fn(b); err != nil {
+		return err
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		if len(b.ops[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.shards[i].WriteBatch(func(w BatchWriter) error {
+				for _, op := range b.ops[i] {
+					var err error
+					switch {
+					case op.insert:
+						err = w.Insert(op.id, op.pdf)
+					case op.hasMBR:
+						err = w.DeleteWithRegion(op.id, op.mbr)
+					default:
+						err = w.Delete(op.id)
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	return s.firstError(errs)
+}
+
 // BulkLoad partitions the batch by ID hash and bulk-loads every shard
 // concurrently; all shards must be empty.
 func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
@@ -260,6 +338,16 @@ func (s *ShardedTree) Len() int {
 		n += sh.Len()
 	}
 	return n
+}
+
+// GCInfo merges the shards' epoch-collector health reports: epochs take
+// the max, counters sum.
+func (s *ShardedTree) GCInfo() GCInfo {
+	var info GCInfo
+	for _, sh := range s.shards {
+		info.Add(sh.GCInfo())
+	}
+	return info
 }
 
 // CacheStats sums the shards' buffer-pool hit/miss counters.

@@ -137,6 +137,30 @@ type Config struct {
 	// instrumentation hook (e.g. pagefile.FaultStore for crash-recovery
 	// tests). Production code leaves it nil.
 	WrapStore func(pagefile.Store) pagefile.Store
+	// GroupCommitOps > 1 enables size-based group commit: mutations
+	// accumulate in one open commit epoch and publish together once this
+	// many have gathered (or earlier — at Flush, Close, an explicit
+	// WriteBatch, or the GroupCommitInterval deadline). Grouping amortizes
+	// the per-epoch cost (metadata write, pool flush, shadow relocations of
+	// the root path) across the group; the trade-off is durability
+	// granularity: a crash loses the uncommitted tail of the open group,
+	// never a committed prefix. 0 or 1 keeps one-epoch-per-op auto-commit.
+	GroupCommitOps int
+	// GroupCommitInterval > 0 bounds how long an open group may age before
+	// it commits. On a bare Tree the deadline is checked at each mutation;
+	// ConcurrentTree additionally runs a timer so an idle writer's tail
+	// commits within roughly the interval. Usable with or without
+	// GroupCommitOps.
+	GroupCommitInterval time.Duration
+	// ReclaimInterval > 0 starts the background epoch reclaimer: retired
+	// pages and data-record tombstones drain on a dedicated goroutine's
+	// ticks instead of inline at commit — the commit path stops paying for
+	// garbage, and garbage drains even while the writer idles.
+	ReclaimInterval time.Duration
+	// ReclaimPageBudget bounds the page operations (tombstone
+	// read-modify-writes + page frees) one reclaimer tick may perform
+	// (0 → pagefile.DefaultReclaimBudget). Ignored without ReclaimInterval.
+	ReclaimPageBudget int
 }
 
 // Tree is a dynamic index over uncertain objects supporting probabilistic
@@ -147,6 +171,16 @@ type Tree struct {
 	meta    pagefile.PageID
 	latency *pagefile.LatencyStore // always interposed by NewTree/OpenTree
 	pdfs    map[int64]Rect         // id → region MBR, to make Delete(id) ergonomic
+
+	// Group-commit state (see Config.GroupCommitOps and batch.go). undo
+	// records the pdfs-map mutations of the open group so a rollback can
+	// revert the session's Delete(id) bookkeeping along with the index.
+	gcOps      int
+	gcInterval time.Duration
+	groupOps   int       // mutations in the open group
+	groupStart time.Time // first mutation of the open group
+	inBatch    bool      // explicit WriteBatch in progress
+	undo       []pdfUndo
 }
 
 // NewTree creates an empty index.
@@ -159,11 +193,13 @@ func NewTree(cfg Config) (*Tree, error) {
 		Seed:            cfg.Seed,
 		BufferPages:     cfg.BufferPages,
 		PrefetchWorkers: cfg.PrefetchWorkers,
+		ReclaimInterval: cfg.ReclaimInterval,
+		ReclaimBudget:   cfg.ReclaimPageBudget,
 	}
 	if cfg.UPCR {
 		opt.Kind = core.UPCR
 	}
-	t := &Tree{pdfs: make(map[int64]Rect)}
+	t := &Tree{pdfs: make(map[int64]Rect), gcOps: cfg.GroupCommitOps, gcInterval: cfg.GroupCommitInterval}
 	if cfg.Path != "" {
 		fs, err := pagefile.CreateFileStore(cfg.Path)
 		if err != nil {
@@ -210,46 +246,67 @@ func NewTree(cfg Config) (*Tree, error) {
 	return t, nil
 }
 
-// commit seals the current mutation as a new epoch — through the metadata
+// commit seals the open mutations as a new epoch — through the metadata
 // page for file-backed trees (the crash-consistency point), directly for
-// in-memory ones. Every mutating method auto-commits, so each completed
-// Insert/Delete/BulkLoad is an epoch of its own and snapshots only ever
-// see completed operations.
+// in-memory ones. With grouping disabled every mutating method
+// auto-commits, so each completed Insert/Delete/BulkLoad is an epoch of
+// its own; with group commit (Config.GroupCommitOps/Interval, WriteBatch)
+// the whole group publishes as one epoch and snapshots see completed
+// groups, never a partial one.
 func (t *Tree) commit() error {
+	if t.inner.InBatch() {
+		if t.file != nil {
+			return t.inner.CommitBatchWithMeta(t.meta)
+		}
+		return t.inner.CommitBatch()
+	}
 	if t.file != nil {
 		return t.inner.CommitWithMeta(t.meta)
 	}
 	return t.inner.Commit()
 }
 
-// rollback rewinds a failed mutation to the last committed epoch; the
-// mutation's error wins over any rollback error.
+// rollback rewinds every uncommitted mutation — the failing one and any
+// grouped ones before it — to the last committed epoch, reverting the
+// session's pdfs bookkeeping with them. The mutation's error wins over any
+// rollback error; when grouped ops were dropped with it, the error says so.
 func (t *Tree) rollback(opErr error) error {
-	if rbErr := t.inner.Rollback(); rbErr != nil {
+	dropped := t.groupOps
+	var rbErr error
+	if t.inner.InBatch() {
+		rbErr = t.inner.RollbackBatch()
+	} else {
+		rbErr = t.inner.Rollback()
+	}
+	t.revertUndo()
+	t.groupOps = 0
+	if rbErr != nil {
 		return fmt.Errorf("%w (rollback also failed: %v)", opErr, rbErr)
+	}
+	if dropped > 1 {
+		return fmt.Errorf("%w (rolled back %d uncommitted grouped operations)", opErr, dropped)
 	}
 	return opErr
 }
 
 // Insert adds an object. IDs must be unique; inserting a duplicate ID is
-// not detected (two entries will coexist). The insert commits as its own
-// epoch; on failure the tree rolls back to the previous epoch and remains
-// usable.
+// not detected (two entries will coexist). Without group commit the insert
+// publishes as its own epoch; under grouping it joins the open group. On
+// failure the tree rolls back to the last committed epoch — dropping any
+// uncommitted grouped operations with it — and remains usable.
 func (t *Tree) Insert(id int64, pdf PDF) error {
+	t.beginGroupOp()
 	if err := t.inner.Insert(core.Object{ID: id, PDF: pdf}); err != nil {
 		return t.rollback(err)
 	}
-	if err := t.commit(); err != nil {
-		return t.rollback(err)
-	}
-	t.pdfs[id] = pdf.MBR()
-	return nil
+	t.trackInsert(id, pdf.MBR())
+	return t.noteOp()
 }
 
 // Delete removes an object by ID. Objects inserted in a previous process
 // lifetime (reopened file-backed trees) need DeleteWithRegion instead.
-// Commits as its own epoch; snapshots pinned before the commit still see
-// the object.
+// Commit granularity follows the group-commit policy (see Insert);
+// snapshots pinned before the group's commit still see the object.
 func (t *Tree) Delete(id int64) error {
 	mbr, ok := t.pdfs[id]
 	if !ok {
@@ -259,19 +316,19 @@ func (t *Tree) Delete(id int64) error {
 }
 
 // DeleteWithRegion removes an object by ID and its region MBR (the pdf's
-// MBR at insertion time). Commits as its own epoch.
+// MBR at insertion time). Commit granularity follows the group-commit
+// policy (see Insert). A not-found delete mutates nothing and leaves the
+// open group intact.
 func (t *Tree) DeleteWithRegion(id int64, regionMBR Rect) error {
+	t.beginGroupOp()
 	if err := t.inner.Delete(id, regionMBR); err != nil {
 		if errors.Is(err, core.ErrNotFound) {
 			return err // nothing mutated; no rollback needed
 		}
 		return t.rollback(err)
 	}
-	if err := t.commit(); err != nil {
-		return t.rollback(err)
-	}
-	delete(t.pdfs, id)
-	return nil
+	t.trackDelete(id)
+	return t.noteOp()
 }
 
 // Search answers a probabilistic range query: the objects appearing in
@@ -297,11 +354,17 @@ func (t *Tree) SetSimulatedPageLatency(d time.Duration) {
 	}
 }
 
-// Flush writes every buffered dirty page through to the store and drains
-// whatever retired epochs' pages the current snapshot pins allow. Useful
-// before a read-heavy phase: a clean pool evicts without write-backs, so
-// concurrent searches never stall on flushing another query's victim.
-func (t *Tree) Flush() error { return t.inner.Flush() }
+// Flush seals any open commit group, writes every buffered dirty page
+// through to the store and drains whatever retired epochs' pages the
+// current snapshot pins allow. Useful before a read-heavy phase: a clean
+// pool evicts without write-backs, so concurrent searches never stall on
+// flushing another query's victim.
+func (t *Tree) Flush() error {
+	if err := t.commitPending(); err != nil {
+		return err
+	}
+	return t.inner.Flush()
+}
 
 // Epoch returns the last committed epoch number (each completed mutation
 // is one epoch).
@@ -313,6 +376,15 @@ func (t *Tree) Epoch() uint64 { return t.inner.Epoch() }
 func (t *Tree) GCStats() (epoch uint64, pins int, pendingPages int) {
 	return t.inner.GCStats()
 }
+
+// GCInfo is the epoch collector's full health report: pending
+// epochs/pages/tombstones, lifetime reclaim counters, and whether the
+// background reclaimer is running.
+type GCInfo = pagefile.GCInfo
+
+// GCInfo reports the epoch collector's full health (see GCStats for the
+// compact form).
+func (t *Tree) GCInfo() GCInfo { return t.inner.GCInfo() }
 
 // Len returns the number of indexed objects.
 func (t *Tree) Len() int { return t.inner.Len() }
@@ -329,13 +401,17 @@ func (t *Tree) CacheStats() (hits, misses int64) { return t.inner.CacheStats() }
 // CheckInvariants validates the index structure (for tests and tooling).
 func (t *Tree) CheckInvariants() error { return t.inner.CheckInvariants() }
 
-// Close commits any final state, drains the last retired pages, and, for
-// file-backed trees, closes the file. Every mutation already committed
-// durably, so Close adds nothing a crash would lose — but it is the last
-// chance to surface a reclaim failure stashed by an earlier commit (such
-// a failure leaked pages; it never corrupted data).
+// Close stops the background reclaimer, commits any final state — sealing
+// an open commit group — drains the last retired pages, and, for
+// file-backed trees, closes the file. Without grouping every mutation
+// already committed durably, so Close adds nothing a crash would lose;
+// under group commit the open group's tail becomes durable here. Close is
+// also the last chance to surface a reclaim failure stashed by an earlier
+// commit (such a failure leaked pages; it never corrupted data).
 func (t *Tree) Close() error {
+	t.inner.StopBackgroundReclaim()
 	err := t.commit()
+	t.groupOps, t.undo = 0, t.undo[:0]
 	if err == nil {
 		err = t.inner.Reclaim()
 	}
@@ -351,9 +427,11 @@ func (t *Tree) Close() error {
 // the crash-simulation exit (and the cleanup path for a handle whose
 // storage already failed): the file keeps exactly the pages that were
 // durable when the last operation stopped, as if the process died there.
-// OpenTree then recovers the last committed epoch. In-memory trees just
-// drop their state.
+// OpenTree then recovers the last committed epoch — under group commit,
+// the last committed group boundary. In-memory trees just drop their
+// state.
 func (t *Tree) Discard() error {
+	t.inner.StopBackgroundReclaim()
 	if t.file == nil {
 		return nil
 	}
@@ -362,13 +440,16 @@ func (t *Tree) Discard() error {
 
 // OpenTree reopens a file-backed index created with Config.Path. The
 // metadata page is the first page after the store header (as written by
-// NewTree).
+// NewTree). After recovering the last committed epoch it sweeps pages a
+// crash may have leaked — shadow pages retired by a published epoch that
+// died before its garbage drained, or fresh pages of an aborted batch —
+// back to the free list.
 func OpenTree(path string, cfg Config) (*Tree, error) {
 	fs, err := pagefile.OpenFileStore(path)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{file: fs, meta: 1, pdfs: make(map[int64]Rect)}
+	t := &Tree{file: fs, meta: 1, pdfs: make(map[int64]Rect), gcOps: cfg.GroupCommitOps, gcInterval: cfg.GroupCommitInterval}
 	var base pagefile.Store = fs
 	if cfg.WrapStore != nil {
 		base = cfg.WrapStore(base)
@@ -380,11 +461,33 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 		Seed:            cfg.Seed,
 		BufferPages:     cfg.BufferPages,
 		PrefetchWorkers: cfg.PrefetchWorkers,
+		ReclaimInterval: cfg.ReclaimInterval,
+		ReclaimBudget:   cfg.ReclaimPageBudget,
 	})
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
 	t.inner = inner
+	if err := t.sweepLeakedPages(); err != nil {
+		inner.StopBackgroundReclaim()
+		fs.Close()
+		return nil, fmt.Errorf("uncertain: open-time leak sweep: %w", err)
+	}
 	return t, nil
+}
+
+// sweepLeakedPages walks the recovered tree for its reachable page set and
+// returns everything else in the file to the free list. The walk goes
+// through the wrapped store (fault injection and simulated latency apply);
+// the sweep itself runs directly on the file store — it is allocator
+// repair below the versioning layer, not part of any epoch.
+func (t *Tree) sweepLeakedPages() error {
+	reach, err := t.inner.ReachablePages()
+	if err != nil {
+		return err
+	}
+	reach[t.meta] = true
+	_, err = t.file.SweepLeaked(reach)
+	return err
 }
