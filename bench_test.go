@@ -34,6 +34,7 @@ func benchConfig() experiments.Config {
 // BenchmarkFig7MonteCarlo regenerates Figure 7: monte-carlo error and
 // per-computation cost versus sample count n1.
 func BenchmarkFig7MonteCarlo(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig7(benchConfig(), []int{1000, 10000, 100000})
 		if err != nil {
@@ -51,6 +52,7 @@ func BenchmarkFig7MonteCarlo(b *testing.B) {
 // BenchmarkFig8CatalogSize regenerates Figure 8: U-PCR query cost versus
 // catalog size m.
 func BenchmarkFig8CatalogSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.Fig8(benchConfig(), []int{3, 6, 9, 12}, []float64{0.3, 0.6, 0.9})
 		if err != nil {
@@ -69,6 +71,7 @@ func BenchmarkFig8CatalogSize(b *testing.B) {
 // BenchmarkTable1Size regenerates Table 1: index sizes of the U-tree versus
 // U-PCR.
 func BenchmarkTable1Size(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(benchConfig())
 		if err != nil {
@@ -85,6 +88,7 @@ func BenchmarkTable1Size(b *testing.B) {
 // BenchmarkFig9QuerySize regenerates Figure 9: cost versus query extent qs
 // at pq = 0.6 (all datasets, both structures).
 func BenchmarkFig9QuerySize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.Fig9(benchConfig(), []float64{500, 1500, 2500})
 		if err != nil {
@@ -99,6 +103,7 @@ func BenchmarkFig9QuerySize(b *testing.B) {
 // BenchmarkFig10Threshold regenerates Figure 10: cost versus probability
 // threshold pq at qs = 1500.
 func BenchmarkFig10Threshold(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.Fig10(benchConfig(), []float64{0.3, 0.6, 0.9})
 		if err != nil {
@@ -113,6 +118,7 @@ func BenchmarkFig10Threshold(b *testing.B) {
 // BenchmarkFig11Updates regenerates Figure 11: per-insertion and
 // per-deletion overhead of the U-tree.
 func BenchmarkFig11Updates(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig11(benchConfig())
 		if err != nil {
@@ -129,6 +135,7 @@ func BenchmarkFig11Updates(b *testing.B) {
 
 // BenchmarkAblationSplit compares split strategies (DESIGN.md §7).
 func BenchmarkAblationSplit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.AblationSplit(benchConfig())
 		if err != nil {
@@ -144,6 +151,7 @@ func BenchmarkAblationSplit(b *testing.B) {
 
 // BenchmarkAblationReinsert compares forced reinsertion on/off.
 func BenchmarkAblationReinsert(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.AblationReinsert(benchConfig())
 		if err != nil {
@@ -173,6 +181,7 @@ func metricUnit(label string) string {
 
 // BenchmarkAblationCatalog sweeps the U-tree catalog size.
 func BenchmarkAblationCatalog(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationCatalog(benchConfig(), []int{5, 15}); err != nil {
 			b.Fatal(err)
@@ -182,6 +191,7 @@ func BenchmarkAblationCatalog(b *testing.B) {
 
 // BenchmarkAblationCFB compares CFB vs PCR entries at equal catalog size.
 func BenchmarkAblationCFB(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationCFB(benchConfig()); err != nil {
 			b.Fatal(err)
@@ -197,6 +207,7 @@ func BenchmarkInsert(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := objs[i%len(objs)]
@@ -223,6 +234,7 @@ func BenchmarkQuery(b *testing.B) {
 		}
 	}
 	queries := benchQueries(objs, 1000, 0.6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := tree.RangeQuery(queries[i%len(queries)]); err != nil {
@@ -266,10 +278,37 @@ func parallelBenchFixture(b *testing.B) (*uncertain.ConcurrentTree, []uncertain.
 	return parallelFixture.ct, parallelFixture.queries
 }
 
+// BenchmarkFig9SearchHotCache is the CPU-bound hot path: the same Fig. 9
+// workload with zero simulated latency and every page warm, so the
+// traversal never waits on storage — queries/sec and allocs/op measure the
+// decode/filter/refine CPU cost alone. This is the benchmark the CI
+// allocation gate watches.
+func BenchmarkFig9SearchHotCache(b *testing.B) {
+	ct, queries := parallelBenchFixture(b)
+	ct.SetSimulatedPageLatency(0)
+	defer ct.SetSimulatedPageLatency(2 * time.Millisecond) // restore for later benchmarks
+	// One zero-latency pass so every page and decoded node is warm.
+	for _, q := range queries {
+		if _, _, err := ct.Search(context.Background(), q.Rect, q.Prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, _, err := ct.Search(context.Background(), q.Rect, q.Prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
 // BenchmarkFig9SearchSerial is the baseline: one goroutine, one query at a
 // time through ConcurrentTree.Search.
 func BenchmarkFig9SearchSerial(b *testing.B) {
 	ct, queries := parallelBenchFixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
@@ -287,6 +326,7 @@ func BenchmarkFig9SearchBatch(b *testing.B) {
 		b.Run("workers="+itoa(workers), func(b *testing.B) {
 			ct, queries := parallelBenchFixture(b)
 			eng := uncertain.NewQueryEngine(ct, uncertain.EngineOptions{Workers: workers})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := eng.SearchBatch(context.Background(), queries); err != nil {
@@ -312,6 +352,7 @@ func BenchmarkFig9SearchPrefetch(b *testing.B) {
 			// The per-query option replaces the removed SetPrefetchWorkers
 			// mutator: the shared fixture needs no restore step.
 			opt := uncertain.WithPrefetchWorkers(prefetch)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
@@ -351,6 +392,7 @@ func BenchmarkFig9SearchSharded(b *testing.B) {
 			if !experiments.ArmLatency(idx, 2*time.Millisecond) {
 				b.Fatalf("index %T does not support simulated latency", idx)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]

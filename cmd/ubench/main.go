@@ -17,11 +17,15 @@
 //	ubench -parallel -limit 8 -page-budget 32 -mc-samples 500   # per-query option knobs
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
-// sharded, pipeline, writepath, all.
+// sharded, pipeline, writepath, cpupath, all.
 //
 // -json writes the throughput experiments' structured rows (workload
 // params, q/s, merged query stats) to a file, so perf trajectories can be
 // recorded across revisions (BENCH_*.json).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the experiment
+// run (the heap profile is taken at exit), for digging into what -experiment
+// cpupath summarizes.
 // At -scale 1 the datasets match the paper (53k/62k/100k objects); smaller
 // scales preserve the qualitative shapes at a fraction of the runtime.
 package main
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -59,11 +64,12 @@ type jsonReport struct {
 	Sharded   []experiments.ShardedRow   `json:",omitempty"`
 	Pipeline  []experiments.PipelineRow  `json:",omitempty"`
 	WritePath []experiments.WritePathRow `json:",omitempty"`
+	CPUPath   []experiments.CPUPathRow   `json:",omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|all")
+		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|cpupath|all")
 		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
 		queries  = flag.Int("queries", 0, "queries per workload (0 = default)")
 		samples  = flag.Int("mc", 0, "monte-carlo samples per probability (0 = default)")
@@ -75,6 +81,8 @@ func main() {
 		prefetch = flag.Int("prefetch", 8, "max intra-query prefetch fan-out for -experiment pipeline (sweeps 0,1,2,4,... up to this)")
 		group    = flag.Int("group", 32, "max group-commit size for -experiment writepath (sweeps 1, max/4, max)")
 		jsonPath = flag.String("json", "", "write machine-readable results of the throughput experiments to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the experiment run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 
 		// Per-query options of the context-first query API, applied to the
 		// -experiment parallel measured batches (0 disables each).
@@ -132,11 +140,24 @@ func main() {
 		QueryMCSamples:  *mcSamples,
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		fmt.Printf("── %s ──────────────────────────────────────────\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			pprof.StopCPUProfile()
 			os.Exit(1)
 		}
 		fmt.Printf("   (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -213,6 +234,14 @@ func main() {
 		})
 		ran = true
 	}
+	if all || *exp == "cpupath" {
+		run("cpupath", func() error {
+			rows, err := experiments.CPUPath(cfg)
+			report.CPUPath = rows
+			return err
+		})
+		ran = true
+	}
 	if all || *exp == "ablations" {
 		run("ablation-split", func() error { _, err := experiments.AblationSplit(cfg); return err })
 		run("ablation-reinsert", func() error { _, err := experiments.AblationReinsert(cfg); return err })
@@ -231,6 +260,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	pprof.StopCPUProfile() // no-op when -cpuprofile is off
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }
 

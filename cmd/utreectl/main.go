@@ -213,6 +213,13 @@ func stats(path string, cfg uncertain.Config) error {
 	if gc.ReclaimerRunning {
 		fmt.Printf("reclaimer: running in background\n")
 	}
+	nh, nm := tree.NodeCacheStats()
+	if lookups := nh + nm; lookups > 0 {
+		fmt.Printf("node cache: %.1f%% hit rate (%d hits / %d lookups)\n",
+			100*float64(nh)/float64(lookups), nh, lookups)
+	} else {
+		fmt.Printf("node cache: no lookups\n")
+	}
 	return nil
 }
 

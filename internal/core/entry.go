@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/pagefile"
@@ -80,6 +81,59 @@ func (t *Tree) boxAt(boxes []geom.Rect, j int) geom.Rect {
 	}
 	f := t.cat.Value(j) / t.cat.Max()
 	return interpRect(boxes[0], boxes[1], f)
+}
+
+// boxIntersectsAt reports whether r intersects boxAt(boxes, j) without
+// materializing the interpolated rectangle — the allocation-free form of
+// r.Intersects(t.boxAt(boxes, j)) used by the descent's Observation 4
+// pruning. The interpolation arithmetic is written exactly as interpRect's
+// and the comparison exactly as geom.Rect.Intersects', so the outcome is
+// bit-identical to the allocating composition.
+func (t *Tree) boxIntersectsAt(r geom.Rect, boxes []geom.Rect, j int) bool {
+	if len(boxes) == t.cat.Size() {
+		return r.Intersects(boxes[j])
+	}
+	if len(boxes) != 2 {
+		panic(fmt.Sprintf("core: entry with %d boxes (want 2 or %d)", len(boxes), t.cat.Size()))
+	}
+	f := t.cat.Value(j) / t.cat.Max()
+	a, b := boxes[0], boxes[1]
+	for i := range r.Lo {
+		lo := a.Lo[i] + (b.Lo[i]-a.Lo[i])*f
+		hi := a.Hi[i] + (b.Hi[i]-a.Hi[i])*f
+		if r.Hi[i] < lo || hi < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minDistAt is MINDIST(q, boxAt(boxes, j)) without materializing the
+// interpolated rectangle — the allocation-free form of
+// minDist(q, t.boxAt(boxes, j)) used by the NN frontier. Same
+// bit-identical-arithmetic contract as boxIntersectsAt.
+func (t *Tree) minDistAt(q geom.Point, boxes []geom.Rect, j int) float64 {
+	if len(boxes) == t.cat.Size() {
+		return minDist(q, boxes[j])
+	}
+	if len(boxes) != 2 {
+		panic(fmt.Sprintf("core: entry with %d boxes (want 2 or %d)", len(boxes), t.cat.Size()))
+	}
+	f := t.cat.Value(j) / t.cat.Max()
+	a, b := boxes[0], boxes[1]
+	var s float64
+	for i := range q {
+		lo := a.Lo[i] + (b.Lo[i]-a.Lo[i])*f
+		hi := a.Hi[i] + (b.Hi[i]-a.Hi[i])*f
+		var d float64
+		if q[i] < lo {
+			d = lo - q[i]
+		} else if q[i] > hi {
+			d = q[i] - hi
+		}
+		s += d * d
+	}
+	return math.Sqrt(s)
 }
 
 // interpRect linearly interpolates each face: (1−f)·a + f·b.

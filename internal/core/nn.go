@@ -1,11 +1,9 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/geom"
@@ -50,6 +48,11 @@ type NNStats struct {
 	// PagesFetched counts the physical fetches charged against
 	// QueryOpts.PageBudget; filled only when a budget is armed.
 	PagesFetched int
+
+	// Decoded-node cache outcomes of this query's tree-page reads (both
+	// zero when the cache is disabled).
+	NodeCacheHits   int
+	NodeCacheMisses int
 }
 
 // Add accumulates o into s — the NN counterpart of QueryStats.Add, shared
@@ -62,6 +65,8 @@ func (s *NNStats) Add(o NNStats) {
 	s.PrefetchCoalesced += o.PrefetchCoalesced
 	s.PrefetchWasted += o.PrefetchWasted
 	s.PagesFetched += o.PagesFetched
+	s.NodeCacheHits += o.NodeCacheHits
+	s.NodeCacheMisses += o.NodeCacheMisses
 }
 
 // nnItem is a priority-queue element: either a tree node or a leaf object
@@ -74,13 +79,12 @@ type nnItem struct {
 	addr   pagefile.DataAddr
 }
 
+// nnHeap is a min-heap on lb, maintained by the typed nnPush/nnPop in
+// scratch.go (which replicate container/heap's sift semantics exactly, so
+// tie-breaking among equal lower bounds is unchanged from the boxed heap).
 type nnHeap []nnItem
 
-func (h nnHeap) Len() int           { return len(h) }
-func (h nnHeap) Less(i, j int) bool { return h[i].lb < h[j].lb }
-func (h nnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap) Push(x any)        { *h = append(*h, x.(nnItem)) }
-func (h *nnHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h nnHeap) Len() int { return len(h) }
 
 // NearestNeighborsRO is the read-only NN entry point, mirroring
 // RangeQueryRO: NN traversal already keeps all its state on the stack
@@ -139,11 +143,20 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 	meter := fetchMeter{budget: plan.budget}
 	partial := func(err error) ([]NNResult, NNStats, error) {
 		stats.PagesFetched = meter.spent
+		stats.NodeCacheHits = meter.ncHits
+		stats.NodeCacheMisses = meter.ncMisses
 		return best, stats, err
 	}
 
-	pq := &nnHeap{{lb: 0, isNode: true, page: root}}
-	heap.Init(pq)
+	// Pooled frontier heap and sample buffer; the best slice escapes to
+	// the caller and is never pooled. The typed nnPush/nnPop replicate
+	// container/heap's sift semantics exactly, so the pop order — and
+	// with it every result — is unchanged.
+	sc := getScratch()
+	defer sc.release()
+	distBuf := sc.point(t.dim)
+	pq := &sc.heap
+	*pq = append((*pq)[:0], nnItem{lb: 0, isNode: true, page: root})
 
 	worst := math.Inf(1)
 
@@ -151,12 +164,12 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 		if cerr := plan.ctx.Err(); cerr != nil {
 			return partial(cerr)
 		}
-		it := heap.Pop(pq).(nnItem)
+		it := nnPop(pq)
 		if len(best) == k && it.lb >= worst {
 			break // every remaining item is at least as far
 		}
 		if ses.nodes != nil {
-			speculateNN(pq, ses, len(best) == k, worst)
+			t.speculateNN(pq, ses, len(best) == k, worst)
 		}
 		if it.isNode {
 			n, err := t.fetchNode(ses.nodes, &meter, it.page)
@@ -167,7 +180,7 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 			if n.leaf() {
 				for i := range n.entries {
 					e := &n.entries[i]
-					heap.Push(pq, nnItem{
+					nnPush(pq, nnItem{
 						lb:   minDist(q, e.mbr),
 						id:   e.id,
 						addr: e.addr,
@@ -175,8 +188,8 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 				}
 			} else {
 				for i := range n.entries {
-					heap.Push(pq, nnItem{
-						lb:     minDist(q, t.boxAt(n.entries[i].boxes, 0)),
+					nnPush(pq, nnItem{
+						lb:     t.minDistAt(q, n.entries[i].boxes, 0),
 						isNode: true,
 						page:   n.entries[i].child,
 					})
@@ -200,7 +213,7 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 		if err != nil {
 			return nil, stats, err
 		}
-		d := ExpectedDistance(obj.PDF, q, plan.samples, obj.ID)
+		d := expectedDistanceScratch(obj.PDF, q, plan.samples, obj.ID, distBuf)
 		stats.DistanceComps++
 		if len(best) < k || d < worst {
 			best = insertNN(best, NNResult{ID: obj.ID, ExpectedDist: d}, k)
@@ -226,8 +239,9 @@ const speculateDepth = 4
 // entries: child pages of frontier nodes through the buffer pool, data
 // pages of frontier objects through the raw store. Entries already beyond
 // the current k-th best distance are skipped — they can never be popped
-// for processing.
-func speculateNN(pq *nnHeap, ses querySessions, full bool, worst float64) {
+// for processing — as are nodes already in the decoded-node cache, whose
+// async reads a cache hit would leave unclaimed.
+func (t *Tree) speculateNN(pq *nnHeap, ses querySessions, full bool, worst float64) {
 	depth := speculateDepth
 	if depth > pq.Len() {
 		depth = pq.Len()
@@ -238,7 +252,9 @@ func speculateNN(pq *nnHeap, ses querySessions, full bool, worst float64) {
 			continue
 		}
 		if it.isNode {
-			ses.nodes.Prefetch(it.page)
+			if t.ncache == nil || !t.ncache.contains(it.page) {
+				ses.nodes.Prefetch(it.page)
+			}
 		} else {
 			ses.data.Prefetch(it.addr.Page)
 		}
@@ -279,11 +295,23 @@ func minDist(q geom.Point, rect geom.Rect) float64 {
 // a deterministic seed derived from the object id, so repeated evaluations
 // (and brute-force oracles in tests) agree exactly.
 func ExpectedDistance(p updf.PDF, q geom.Point, samples int, seed int64) float64 {
+	return expectedDistanceScratch(p, q, samples, seed, nil)
+}
+
+// expectedDistanceScratch is ExpectedDistance writing samples into the
+// caller's scratch point (allocated fresh when nil or mis-sized) and drawing
+// from a pooled sampler. (*Rand).Seed reproduces exactly the sequence
+// rand.New(rand.NewSource(seed)) draws, so values match ExpectedDistance's
+// historical output bit for bit.
+func expectedDistanceScratch(p updf.PDF, q geom.Point, samples int, seed int64, x geom.Point) float64 {
 	if samples <= 0 {
 		samples = 10000
 	}
-	rng := rand.New(rand.NewSource(seed*1099511628211 + 14695981039346656037>>32))
-	x := make(geom.Point, p.Dim())
+	rng := getSeededRand(seed*1099511628211 + 14695981039346656037>>32)
+	defer putRand(rng)
+	if len(x) != p.Dim() {
+		x = make(geom.Point, p.Dim())
+	}
 	var num, den float64
 	for i := 0; i < samples; i++ {
 		p.SampleUniform(rng, x)

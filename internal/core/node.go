@@ -18,10 +18,27 @@ type node struct {
 func (n *node) leaf() bool { return n.level == 0 }
 
 // readNode fetches and deserializes a page, counting one logical node
-// access.
+// access. It always decodes a private copy: the mutation paths (insert and
+// delete descents) edit the returned node's entries in place, so they must
+// never receive a node shared through the decoded-node cache. Query paths
+// go through fetchNode, which consults the cache first.
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
 	n, _, err := t.readNodeMiss(id)
 	return n, err
+}
+
+// maybeCacheNode offers a freshly decoded node to the decoded-node cache.
+// Only committed pages are cached — their bytes are COW-immutable while
+// live, so the decoded form is shareable across lock-free readers; a
+// shadow (fresh) page is still writable in place and bypasses the cache.
+// Callers must not mutate n after offering it.
+func (t *Tree) maybeCacheNode(n *node) {
+	if t.ncache == nil {
+		return
+	}
+	if committed, epoch := t.vs.CommittedInfo(n.page); committed {
+		t.ncache.put(n.page, n, epoch)
+	}
 }
 
 // readNodeMiss is readNode plus the buffer pool's per-call miss report,

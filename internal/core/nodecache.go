@@ -1,0 +1,188 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pagefile"
+)
+
+// nodeCache is a sharded LRU cache of decoded nodes, sitting above the
+// BufferPool: where the pool caches page *bytes*, this caches the *node*
+// values decodeNode builds from them, so a hot traversal skips both the
+// pool lookup and the per-entry decode allocations entirely.
+//
+// Coherence rests on the copy-on-write epoch discipline (VersionedStore):
+//
+//   - Only committed pages are inserted (writeNode relocates any committed
+//     page before rewriting it, so a committed page's bytes — and therefore
+//     its decoded node — are immutable for as long as the page is live).
+//     Shadow (fresh) pages bypass the cache: maybeCacheNode refuses them,
+//     and since a PageID is only recycled after its physical free runs the
+//     cache invalidator first, a fresh page can never alias a live entry.
+//   - Entries are dropped when the VersionedStore physically frees the
+//     page (reclaim, rollback, fresh-free) — the only moment a PageID's
+//     bytes can change. Until then the entry is valid for every reader,
+//     whatever epoch it pinned: snapshots at different epochs that can
+//     reach the same live page see the same bytes by construction.
+//
+// Each entry records the epoch at which it was decoded, purely for
+// observability and tests; the PageID is the coherence key.
+//
+// Cached nodes are shared across concurrent lock-free readers and MUST be
+// treated as immutable. The query paths only read them; mutation paths
+// (insert/delete descents) never touch the cache — they decode private
+// copies they are free to edit in place.
+type nodeCache struct {
+	shards []ncShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type ncShard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[pagefile.PageID]*list.Element
+	lru      *list.List // front = most recent
+}
+
+type ncEntry struct {
+	id    pagefile.PageID
+	n     *node
+	epoch uint64 // committed epoch at decode time (observability only)
+}
+
+const (
+	// ncMaxShards mirrors the buffer pool's shard bound (power of two for
+	// cheap masking).
+	ncMaxShards = 16
+	// ncMinShardEntries keeps shards from degenerating into single-entry
+	// LRUs on small caches.
+	ncMinShardEntries = 4
+	// defaultNodeCacheEntries is the Options.NodeCacheEntries default.
+	defaultNodeCacheEntries = 1024
+)
+
+// newNodeCache builds a cache bounded at capacity decoded nodes (minimum 1),
+// split across PageID-hashed shards like the buffer pool.
+func newNodeCache(capacity int) *nodeCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n*2 <= ncMaxShards && capacity/(n*2) >= ncMinShardEntries {
+		n *= 2
+	}
+	nc := &nodeCache{shards: make([]ncShard, n)}
+	for i := range nc.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		if c < 1 {
+			c = 1
+		}
+		nc.shards[i] = ncShard{
+			capacity: c,
+			entries:  make(map[pagefile.PageID]*list.Element, c),
+			lru:      list.New(),
+		}
+	}
+	return nc
+}
+
+func (nc *nodeCache) shard(id pagefile.PageID) *ncShard {
+	return &nc.shards[int(id)&(len(nc.shards)-1)]
+}
+
+// get returns the cached node for id, marking it most recently used.
+func (nc *nodeCache) get(id pagefile.PageID) (*node, bool) {
+	s := nc.shard(id)
+	s.mu.Lock()
+	el, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		nc.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	n := el.Value.(*ncEntry).n
+	s.mu.Unlock()
+	nc.hits.Add(1)
+	return n, true
+}
+
+// put inserts (or refreshes) the node decoded from a committed page,
+// evicting the shard's least recently used entry on overflow. Callers must
+// only pass committed pages (maybeCacheNode enforces this).
+func (nc *nodeCache) put(id pagefile.PageID, n *node, epoch uint64) {
+	s := nc.shard(id)
+	s.mu.Lock()
+	if el, ok := s.entries[id]; ok {
+		// Same PageID, same bytes (committed pages are immutable while
+		// live): keep whichever decode arrived first, just refresh LRU.
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.entries[id] = s.lru.PushFront(&ncEntry{id: id, n: n, epoch: epoch})
+	if s.lru.Len() > s.capacity {
+		victim := s.lru.Back()
+		s.lru.Remove(victim)
+		delete(s.entries, victim.Value.(*ncEntry).id)
+	}
+	s.mu.Unlock()
+}
+
+// invalidate drops the entry for id — called by the VersionedStore
+// immediately before a page is physically freed, so the PageID can be
+// recycled without a stale decoded node surviving it.
+func (nc *nodeCache) invalidate(id pagefile.PageID) {
+	s := nc.shard(id)
+	s.mu.Lock()
+	if el, ok := s.entries[id]; ok {
+		s.lru.Remove(el)
+		delete(s.entries, id)
+	}
+	s.mu.Unlock()
+}
+
+// contains reports whether id is cached without touching the LRU order or
+// the hit/miss counters — the peek the prefetch planner uses to avoid
+// scheduling async reads for pages a cache hit would leave unclaimed.
+func (nc *nodeCache) contains(id pagefile.PageID) bool {
+	s := nc.shard(id)
+	s.mu.Lock()
+	_, ok := s.entries[id]
+	s.mu.Unlock()
+	return ok
+}
+
+// stats returns the cumulative hit/miss counters.
+func (nc *nodeCache) stats() (hits, misses int64) {
+	return nc.hits.Load(), nc.misses.Load()
+}
+
+// len reports the number of cached nodes (tests: the entry-count bound).
+func (nc *nodeCache) len() int {
+	n := 0
+	for i := range nc.shards {
+		s := &nc.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// epochOf reports the decode epoch recorded for a cached page (tests).
+func (nc *nodeCache) epochOf(id pagefile.PageID) (uint64, bool) {
+	s := nc.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		return el.Value.(*ncEntry).epoch, true
+	}
+	return 0, false
+}

@@ -102,6 +102,7 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 	t.setPrefetchWorkers(opt.PrefetchWorkers)
 	t.pool = pagefile.NewBufferPool(t.store, bufPages)
 	t.vs.AttachPool(t.pool)
+	t.attachNodeCache(opt.NodeCacheEntries)
 	t.leafCap, t.innerCap = capacities(kind, dim, m)
 	t.leafEntrySize, t.innerEntrySize = entrySizes(kind, dim, m)
 	t.minLeaf = max1(t.leafCap * 2 / 5)

@@ -100,10 +100,14 @@ func (t *Tree) resolvePlan(ctx context.Context, o QueryOpts) qplan {
 // limitReached reports whether a range query holding n results must stop.
 func (p *qplan) limitReached(n int) bool { return p.limit > 0 && n >= p.limit }
 
-// fetchMeter charges physical page fetches against a query's page budget.
+// fetchMeter charges physical page fetches against a query's page budget
+// and tallies the query's decoded-node cache outcomes (threaded into
+// QueryStats/NNStats by the traversals).
 type fetchMeter struct {
-	budget int // 0 = unlimited
-	spent  int
+	budget   int // 0 = unlimited
+	spent    int
+	ncHits   int // decoded-node cache hits this query
+	ncMisses int // decoded-node cache misses this query (cache enabled only)
 }
 
 // chargeData reserves one data-page read (always physical: data pages
@@ -116,13 +120,30 @@ func (m *fetchMeter) chargeData() error {
 	return nil
 }
 
-// fetchNode reads a tree page under the meter: when the budget is armed, a
-// fetch that would have to touch storage past the budget is refused before
-// any I/O happens, and actual misses are charged. Without a budget it
-// defers to the (possibly prefetching) session path.
+// fetchNode reads a tree page under the meter. The decoded-node cache is
+// consulted first: a hit costs no I/O, no decode and no budget — the node
+// is returned shared (the traversals only read it). On a miss the node is
+// decoded fresh and, when its page is committed, offered to the cache.
+// When the budget is armed, a fetch that would have to touch storage past
+// the budget is refused before any I/O happens, and actual misses are
+// charged. Without a budget it defers to the (possibly prefetching)
+// session path.
 func (t *Tree) fetchNode(ses *pagefile.PrefetchSession, m *fetchMeter, id pagefile.PageID) (*node, error) {
+	if t.ncache != nil {
+		if n, ok := t.ncache.get(id); ok {
+			t.nodeReads.Add(1) // still one logical node access
+			m.ncHits++
+			return n, nil
+		}
+		m.ncMisses++
+	}
 	if m.budget <= 0 {
-		return t.readNodeVia(ses, id)
+		n, err := t.readNodeVia(ses, id)
+		if err != nil {
+			return nil, err
+		}
+		t.maybeCacheNode(n)
+		return n, nil
 	}
 	if m.spent >= m.budget && !t.pool.Contains(id) {
 		return nil, ErrBudgetExceeded
@@ -131,6 +152,7 @@ func (t *Tree) fetchNode(ses *pagefile.PrefetchSession, m *fetchMeter, id pagefi
 	if err != nil {
 		return nil, err
 	}
+	t.maybeCacheNode(n)
 	if miss {
 		m.spent++
 		if m.spent > m.budget {

@@ -60,6 +60,12 @@ type QueryStats struct {
 	// only when a budget is armed — the budgeted path is the only one that
 	// observes per-call hit/miss outcomes — and is 0 otherwise.
 	PagesFetched int
+
+	// Decoded-node cache outcomes of this query's tree-page reads (both
+	// zero when the cache is disabled): a hit skipped the buffer pool and
+	// the node decode entirely.
+	NodeCacheHits   int
+	NodeCacheMisses int
 }
 
 // Add accumulates o into s, field by field. It is the single merge point
@@ -80,6 +86,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.PrefetchCoalesced += o.PrefetchCoalesced
 	s.PrefetchWasted += o.PrefetchWasted
 	s.PagesFetched += o.PagesFetched
+	s.NodeCacheHits += o.NodeCacheHits
+	s.NodeCacheMisses += o.NodeCacheMisses
 }
 
 // RangeQuery executes a prob-range query (Section 5.2): Observation 4
@@ -131,7 +139,9 @@ func (t *Tree) RangeQueryROCtx(ctx context.Context, q Query, o QueryOpts) ([]Res
 		return nil, QueryStats{}, err
 	}
 	p := t.resolvePlan(ctx, o)
-	return t.rangeQuery(t.rootPage, q, rand.New(rand.NewSource(t.roSeed(q))), &p)
+	rng := getSeededRand(t.roSeed(q))
+	defer putRand(rng)
+	return t.rangeQuery(t.rootPage, q, rng, &p)
 }
 
 // roSeed derives a deterministic sampler seed from the tree seed and the
@@ -248,6 +258,8 @@ func (t *Tree) rangeQuery(root pagefile.PageID, q Query, rng *rand.Rand, plan *q
 	partial := func(err error) ([]Result, QueryStats, error) {
 		stats.Results = len(results)
 		stats.PagesFetched = meter.spent
+		stats.NodeCacheHits = meter.ncHits
+		stats.NodeCacheMisses = meter.ncMisses
 		return results, stats, err
 	}
 
@@ -255,19 +267,40 @@ func (t *Tree) rangeQuery(root pagefile.PageID, q Query, rng *rand.Rand, plan *q
 	// since p_1 = 0).
 	jDescend, _ := t.cat.LargestLE(q.Prob)
 
-	type candidate struct {
-		id   int64
-		addr pagefile.DataAddr
-	}
-	var cands []candidate
-
-	frontier := []pagefile.PageID{root}
+	// Pooled traversal scratch: the two descent-level buffers (swapped per
+	// round instead of reallocated), the candidate list, and the Monte
+	// Carlo sample point. The results slice escapes to the caller and is
+	// never pooled. Append order is unchanged, so results stay
+	// byte-identical to the unpooled path.
+	sc := getScratch()
+	frontier := append(sc.frontier[:0], root)
+	next := sc.next[:0]
+	cands := sc.cands[:0]
+	defer func() {
+		// Hand the (possibly grown) buffers back before releasing.
+		sc.frontier, sc.next, sc.cands = frontier, next, cands
+		sc.release()
+	}()
 descent:
 	for len(frontier) > 0 {
 		if ses.nodes != nil && len(frontier) > 1 {
-			ses.nodes.Prefetch(frontier...)
+			// Prefetch copies the ids out synchronously; reusing the
+			// buffer afterwards is safe. Pages whose decoded node is
+			// already cached are skipped — fetchNode would never claim
+			// the async read (the hit bypasses the pool entirely).
+			pf := frontier
+			if t.ncache != nil {
+				pf = sc.pages[:0]
+				for _, id := range frontier {
+					if !t.ncache.contains(id) {
+						pf = append(pf, id)
+					}
+				}
+				sc.pages = pf
+			}
+			ses.nodes.Prefetch(pf...)
 		}
-		var next []pagefile.PageID
+		next = next[:0]
 		for _, page := range frontier {
 			if cerr := plan.ctx.Err(); cerr != nil {
 				return partial(cerr)
@@ -284,7 +317,7 @@ descent:
 				for i := range n.entries {
 					// Observation 4: the subtree cannot contain results if rq
 					// misses e.MBR(p_j).
-					if q.Rect.Intersects(t.boxAt(n.entries[i].boxes, jDescend)) {
+					if t.boxIntersectsAt(q.Rect, n.entries[i].boxes, jDescend) {
 						next = append(next, n.entries[i].child)
 					}
 				}
@@ -311,7 +344,7 @@ descent:
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	stats.Candidates = len(cands)
 	stats.FilterTime = time.Since(start)
@@ -327,7 +360,7 @@ descent:
 	if ses.data != nil {
 		// Overlap the data-page reads with the (CPU-heavy) integration of
 		// earlier candidates: schedule every distinct page up front.
-		var pages []pagefile.PageID
+		pages := sc.pages[:0]
 		last := pagefile.InvalidPage
 		for _, c := range cands {
 			if c.addr.Page != last {
@@ -336,7 +369,9 @@ descent:
 			}
 		}
 		ses.data.Prefetch(pages...)
+		sc.pages = pages
 	}
+	mcBuf := sc.point(t.dim)
 	var pageBuf []byte
 	var pageID pagefile.PageID = pagefile.InvalidPage
 	for _, c := range cands {
@@ -365,7 +400,7 @@ descent:
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: refining object %d: %w", c.id, err)
 		}
-		p := t.appearanceProbability(obj.PDF, q.Rect, rng, plan)
+		p := t.appearanceProbability(obj.PDF, q.Rect, rng, plan, mcBuf)
 		stats.ProbComputations++
 		if p >= q.Prob {
 			results = append(results, Result{ID: obj.ID, Prob: p})
@@ -376,19 +411,22 @@ descent:
 	if plan.budget > 0 {
 		stats.PagesFetched = meter.spent
 	}
+	stats.NodeCacheHits = meter.ncHits
+	stats.NodeCacheMisses = meter.ncMisses
 	return results, stats, nil
 }
 
 // appearanceProbability evaluates Equation 2, by exact oracle when the
 // plan asks for it and the pdf supports it, else by Monte Carlo (Equation
-// 3) driven by the caller's sampler at the plan's sample count.
-func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect, rng *rand.Rand, plan *qplan) float64 {
+// 3) driven by the caller's sampler at the plan's sample count. scratch is
+// the sample-point buffer (len = tree dim), reused across candidates.
+func (t *Tree) appearanceProbability(p updf.PDF, rq geom.Rect, rng *rand.Rand, plan *qplan, scratch geom.Point) float64 {
 	if plan.exact {
 		if ex, ok := p.(updf.ExactProber); ok {
 			return ex.ExactProb(rq)
 		}
 	}
-	return updf.MonteCarloProb(p, rq, plan.samples, rng)
+	return updf.MonteCarloProbScratch(p, rq, plan.samples, rng, scratch)
 }
 
 func validateQuery(dim int, q Query) error {

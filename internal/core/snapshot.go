@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/geom"
 	"repro/internal/pagefile"
@@ -162,7 +161,11 @@ func (s *Snapshot) Len() int { return s.st.size }
 // whatever the scheduling.
 func (s *Snapshot) RangeQuery(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
 	p := s.t.resolvePlan(ctx, o)
-	return s.t.rangeQuery(s.st.rootPage, q, rand.New(rand.NewSource(s.t.roSeed(q))), &p)
+	// The sampler is pooled and re-seeded per query — (*Rand).Seed
+	// reproduces exactly the sequence a fresh rand.New would draw.
+	rng := getSeededRand(s.t.roSeed(q))
+	defer putRand(rng)
+	return s.t.rangeQuery(s.st.rootPage, q, rng, &p)
 }
 
 // NearestNeighbors answers an expected-distance k-NN query against the

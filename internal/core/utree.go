@@ -55,6 +55,14 @@ type Options struct {
 	// ReclaimBudget is the per-tick page budget of the background
 	// reclaimer; ignored when ReclaimInterval is 0.
 	ReclaimBudget int
+	// NodeCacheEntries bounds the decoded-node cache: an LRU of node
+	// values decoded from committed pages, shared lock-free across
+	// readers, sitting above the buffer pool so a hot traversal skips
+	// both the page lookup and the per-entry decode allocations. 0
+	// selects the default (1024 entries); negative disables the cache.
+	// Coherence is automatic — entries drop when the versioned store
+	// physically frees their page, and shadow pages are never cached.
+	NodeCacheEntries int
 }
 
 // SplitStrategy selects the rectangles fed to the R* split during overflow
@@ -89,6 +97,11 @@ type Tree struct {
 	vs    *pagefile.VersionedStore
 	pool  *pagefile.BufferPool
 	data  *pagefile.DataFile
+
+	// ncache caches decoded nodes of committed pages (nil when disabled);
+	// consulted only by the query paths — mutation descents decode
+	// private copies they may edit in place.
+	ncache *nodeCache
 
 	rootPage  pagefile.PageID
 	rootLevel int
@@ -188,6 +201,7 @@ func New(opt Options) (*Tree, error) {
 	t.setPrefetchWorkers(opt.PrefetchWorkers)
 	t.pool = pagefile.NewBufferPool(t.store, bufPages)
 	t.vs.AttachPool(t.pool)
+	t.attachNodeCache(opt.NodeCacheEntries)
 	t.data = pagefile.NewDataFile(t.store)
 	t.vs.SetTombstoner(t.data.DeleteBatch)
 	t.leafCap, t.innerCap = capacities(t.kind, t.dim, m)
@@ -281,6 +295,30 @@ func (t *Tree) NodeIO() (reads, writes int64) {
 // CacheStats reports the buffer pool's hit/miss counters, for throughput
 // reporting in batch query stats.
 func (t *Tree) CacheStats() (hits, misses int64) { return t.pool.HitRate() }
+
+// attachNodeCache builds the decoded-node cache per Options.NodeCacheEntries
+// (0 → default, negative → disabled) and registers its invalidation hook
+// with the versioned store, so entries drop the moment their page is
+// physically freed.
+func (t *Tree) attachNodeCache(entries int) {
+	if entries < 0 {
+		return
+	}
+	if entries == 0 {
+		entries = defaultNodeCacheEntries
+	}
+	t.ncache = newNodeCache(entries)
+	t.vs.AttachInvalidator(t.ncache.invalidate)
+}
+
+// NodeCacheStats reports the decoded-node cache's cumulative hit/miss
+// counters (both zero when the cache is disabled).
+func (t *Tree) NodeCacheStats() (hits, misses int64) {
+	if t.ncache == nil {
+		return 0, 0
+	}
+	return t.ncache.stats()
+}
 
 // setPrefetchWorkers arms the default intra-query prefetch fan-out
 // (0 disables). Fixed at open time — per-query overrides go through

@@ -195,6 +195,31 @@ func TestShardedMixedShapes(t *testing.T) {
 	}
 }
 
+func TestCPUPathShapes(t *testing.T) {
+	rows, err := CPUPath(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].NodeCache || !rows[1].NodeCache {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.QPS <= 0 || r.AllocsPerQuery <= 0 {
+			t.Errorf("cache=%v: QPS %g, allocs/q %g", r.NodeCache, r.QPS, r.AllocsPerQuery)
+		}
+	}
+	if rows[0].HitRate != 0 {
+		t.Errorf("cache-off row reports hit rate %g", rows[0].HitRate)
+	}
+	if rows[1].HitRate < 0.9 {
+		t.Errorf("warm cache-on row hit rate %g, want ≈1", rows[1].HitRate)
+	}
+	if rows[1].AllocsPerQuery >= rows[0].AllocsPerQuery {
+		t.Errorf("cache on did not cut allocations: %g vs %g",
+			rows[1].AllocsPerQuery, rows[0].AllocsPerQuery)
+	}
+}
+
 func TestPrintedOutput(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tiny()

@@ -41,7 +41,8 @@ import (
 // quiesced epochs under a per-tick page budget.
 type VersionedStore struct {
 	inner Store
-	pool  *BufferPool // optional: invalidated on physical free
+	pool  *BufferPool  // optional: invalidated on physical free
+	inval func(PageID) // optional extra invalidation hook (decoded-node cache)
 
 	mu      sync.Mutex
 	epoch   uint64
@@ -114,6 +115,36 @@ func NewVersionedStore(inner Store, epoch uint64) *VersionedStore {
 // a stale frame would leak the previous epoch's bytes into the new use).
 func (v *VersionedStore) AttachPool(pool *BufferPool) { v.pool = pool }
 
+// AttachInvalidator registers an extra per-page invalidation hook, called
+// at exactly the points the buffer pool is invalidated: immediately before
+// a page is physically freed (and therefore before its id can be
+// recycled). The tree uses it to drop decoded-node cache entries. Attach
+// before any concurrent use; fn must be safe for concurrent calls.
+func (v *VersionedStore) AttachInvalidator(fn func(PageID)) { v.inval = fn }
+
+// invalidate drops the page from the attached pool and invalidator hook —
+// every physical-free site funnels through here.
+func (v *VersionedStore) invalidate(id PageID) {
+	if v.pool != nil {
+		v.pool.Invalidate(id)
+	}
+	if v.inval != nil {
+		v.inval(id)
+	}
+}
+
+// CommittedInfo reports whether id is a committed page — immutable in
+// place under the COW discipline, and therefore safe to share a decoded
+// form of — together with the current committed epoch, in one lock
+// acquisition (the decoded-node cache's insert-path check).
+func (v *VersionedStore) CommittedInfo(id PageID) (committed bool, epoch uint64) {
+	v.mu.Lock()
+	committed = !v.fresh[id]
+	epoch = v.epoch
+	v.mu.Unlock()
+	return committed, epoch
+}
+
 // Alloc allocates a page and marks it fresh: writable in place until the
 // next Commit seals it.
 func (v *VersionedStore) Alloc() (PageID, error) {
@@ -155,9 +186,7 @@ func (v *VersionedStore) Free(id PageID) error {
 		// check.
 		delete(v.inPlace, id)
 		v.mu.Unlock()
-		if v.pool != nil {
-			v.pool.Invalidate(id)
-		}
+		v.invalidate(id)
 		return v.inner.Free(id)
 	}
 	v.batch.pages = append(v.batch.pages, id)
@@ -282,9 +311,7 @@ func (v *VersionedStore) Rollback() error {
 	v.mu.Unlock()
 	var first error
 	for _, id := range freshPages {
-		if v.pool != nil {
-			v.pool.Invalidate(id)
-		}
+		v.invalidate(id)
 		if err := v.inner.Free(id); err != nil && first == nil {
 			first = err
 		}
@@ -463,9 +490,7 @@ func (v *VersionedStore) reclaimSome(budget int) int {
 			}
 			id := g.pages[0]
 			g.pages = g.pages[1:]
-			if v.pool != nil {
-				v.pool.Invalidate(id)
-			}
+			v.invalidate(id)
 			v.mu.Lock()
 			delete(v.inPlace, id)
 			v.mu.Unlock()

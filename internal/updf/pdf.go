@@ -90,14 +90,31 @@ func quantileTol(extent float64) float64 {
 // MonteCarloProb estimates the appearance probability of p in rq with n1
 // uniform samples (Equation 3).
 func MonteCarloProb(p PDF, rq geom.Rect, n1 int, rng *rand.Rand) float64 {
-	res := numeric.MonteCarloAppearance(samplerAdapter{p}, p.Density, p.Dim(), rq, n1, rng)
-	return res.P
+	return MonteCarloProbScratch(p, rq, n1, rng, make(geom.Point, p.Dim()))
 }
 
-type samplerAdapter struct{ p PDF }
-
-func (s samplerAdapter) SampleUniform(rng *rand.Rand, dst geom.Point) {
-	s.p.SampleUniform(rng, dst)
+// MonteCarloProbScratch is MonteCarloProb writing samples into the caller's
+// scratch point (len p.Dim()) instead of allocating one, for the query hot
+// path. The accumulation replicates numeric.MonteCarloAppearance exactly —
+// same draw order, same summation order — so estimates are bit-identical to
+// MonteCarloProb's.
+func MonteCarloProbScratch(p PDF, rq geom.Rect, n1 int, rng *rand.Rand, x geom.Point) float64 {
+	if len(x) != p.Dim() {
+		x = make(geom.Point, p.Dim())
+	}
+	var num, den float64
+	for i := 0; i < n1; i++ {
+		p.SampleUniform(rng, x)
+		w := p.Density(x)
+		den += w
+		if rq.ContainsPoint(x) {
+			num += w
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // unitBallVolume returns the volume of the d-dimensional unit ball.

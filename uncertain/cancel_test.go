@@ -208,7 +208,10 @@ func TestShardedCancel(t *testing.T) {
 // identical to the unbudgeted query. Partial results must be a prefix of
 // the full result sequence.
 func TestPageBudgetExact(t *testing.T) {
-	ct, err := NewConcurrentTree(Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1})
+	// NodeCacheEntries: -1 — the decoded-node cache serves repeat node
+	// reads without any physical fetch, which would break this test's
+	// premise; budget accounting under the cache is covered separately.
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1, NodeCacheEntries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +273,7 @@ func TestPageBudgetExact(t *testing.T) {
 // TestPageBudgetNN: the NN traversal honors the budget with the same
 // error identity and partial-answer semantics.
 func TestPageBudgetNN(t *testing.T) {
-	ct, err := NewConcurrentTree(Config{Dimensions: 2, BufferPages: 1})
+	ct, err := NewConcurrentTree(Config{Dimensions: 2, BufferPages: 1, NodeCacheEntries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +305,7 @@ func TestPageBudgetNN(t *testing.T) {
 // the scatter-gather — the merged partial results come back together with
 // ErrBudgetExceeded.
 func TestShardedBudgetPartial(t *testing.T) {
-	st, err := NewShardedTree(2, Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1})
+	st, err := NewShardedTree(2, Config{Dimensions: 2, ExactRefinement: true, BufferPages: 1, NodeCacheEntries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -165,6 +165,12 @@ func (c *ConcurrentTree) CacheStats() (hits, misses int64) {
 	return c.tree.inner.CacheStats()
 }
 
+// NodeCacheStats reports the decoded-node cache's cumulative hit/miss
+// counters. Safe to call concurrently with queries and the writer.
+func (c *ConcurrentTree) NodeCacheStats() (hits, misses int64) {
+	return c.tree.inner.NodeCacheStats()
+}
+
 // Epoch returns the last committed epoch number.
 func (c *ConcurrentTree) Epoch() uint64 { return c.tree.Epoch() }
 

@@ -62,6 +62,10 @@ type Index interface {
 	// SetSimulatedPageLatency as a tooling hook for build-then-measure
 	// harnesses.
 	CacheStats() (hits, misses int64)
+	// NodeCacheStats reports cumulative decoded-node-cache hits and misses
+	// (summed over shards for sharded indexes; both zero when
+	// Config.NodeCacheEntries is negative).
+	NodeCacheStats() (hits, misses int64)
 	// Flush writes buffered dirty pages through to the store(s) and drains
 	// retired copy-on-write pages no snapshot pins.
 	Flush() error

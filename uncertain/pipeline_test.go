@@ -139,6 +139,14 @@ func TestPipelinedStatsParity(t *testing.T) {
 			t.Fatalf("query %d: range prefetch wasted %d pages (range queries claim every prefetch)", i, st.PrefetchWasted)
 		}
 		st.PrefetchIssued, st.PrefetchCoalesced, st.PrefetchWasted = 0, 0, 0
+		// Node-cache outcomes depend on cache warmth (the serial pass ran
+		// cold, this pass runs hot), not on pipelining — but the total
+		// node reads they split must match the logical node accesses.
+		if st.NodeCacheHits+st.NodeCacheMisses != serial[i].NodeCacheHits+serial[i].NodeCacheMisses {
+			t.Fatalf("query %d: pipelined cache lookups %d+%d, serial %d+%d",
+				i, st.NodeCacheHits, st.NodeCacheMisses, serial[i].NodeCacheHits, serial[i].NodeCacheMisses)
+		}
+		st.NodeCacheHits, st.NodeCacheMisses = serial[i].NodeCacheHits, serial[i].NodeCacheMisses
 		st.FilterTime, st.RefineTime = serial[i].FilterTime, serial[i].RefineTime
 		if st != serial[i] {
 			t.Fatalf("query %d: pipelined stats %+v, serial %+v", i, st, serial[i])

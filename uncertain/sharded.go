@@ -360,6 +360,16 @@ func (s *ShardedTree) CacheStats() (hits, misses int64) {
 	return hits, misses
 }
 
+// NodeCacheStats sums the shards' decoded-node-cache hit/miss counters.
+func (s *ShardedTree) NodeCacheStats() (hits, misses int64) {
+	for _, sh := range s.shards {
+		h, m := sh.NodeCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // SetSimulatedPageLatency re-arms the simulated storage latency on every
 // shard; safe to call concurrently with queries. A tooling hook for
 // build-then-measure harnesses — not part of the Index interface;

@@ -117,6 +117,14 @@ type Config struct {
 	Seed int64
 	// BufferPages sizes the page cache (0 → 256).
 	BufferPages int
+	// NodeCacheEntries sizes the decoded-node cache sitting above the page
+	// cache: committed tree pages are immutable under the copy-on-write
+	// epoch protocol, so their decoded in-memory nodes are shared across
+	// queries (and across lock-free snapshot readers) until the page is
+	// physically reclaimed. A hit skips the page fetch and the node decode
+	// entirely — the query hot path runs allocation-free. 0 → 1024 entries;
+	// negative disables the cache.
+	NodeCacheEntries int
 	// SimulatedPageLatency adds a fixed delay to every physical page read
 	// and write, modeling disk- or network-resident storage (the paper's
 	// cost model charges 10 ms per page access). Cache hits skip it, so it
@@ -186,15 +194,16 @@ type Tree struct {
 // NewTree creates an empty index.
 func NewTree(cfg Config) (*Tree, error) {
 	opt := core.Options{
-		Dim:             cfg.Dimensions,
-		CatalogSize:     cfg.CatalogSize,
-		MCSamples:       cfg.MonteCarloSamples,
-		ExactRefinement: cfg.ExactRefinement,
-		Seed:            cfg.Seed,
-		BufferPages:     cfg.BufferPages,
-		PrefetchWorkers: cfg.PrefetchWorkers,
-		ReclaimInterval: cfg.ReclaimInterval,
-		ReclaimBudget:   cfg.ReclaimPageBudget,
+		Dim:              cfg.Dimensions,
+		CatalogSize:      cfg.CatalogSize,
+		MCSamples:        cfg.MonteCarloSamples,
+		ExactRefinement:  cfg.ExactRefinement,
+		Seed:             cfg.Seed,
+		BufferPages:      cfg.BufferPages,
+		NodeCacheEntries: cfg.NodeCacheEntries,
+		PrefetchWorkers:  cfg.PrefetchWorkers,
+		ReclaimInterval:  cfg.ReclaimInterval,
+		ReclaimBudget:    cfg.ReclaimPageBudget,
 	}
 	if cfg.UPCR {
 		opt.Kind = core.UPCR
@@ -398,6 +407,10 @@ func (t *Tree) SizeBytes() int64 { return t.inner.SizeBytes() }
 // CacheStats reports the buffer pool's cumulative hit/miss counters.
 func (t *Tree) CacheStats() (hits, misses int64) { return t.inner.CacheStats() }
 
+// NodeCacheStats reports the decoded-node cache's cumulative hit/miss
+// counters (both zero when Config.NodeCacheEntries is negative).
+func (t *Tree) NodeCacheStats() (hits, misses int64) { return t.inner.NodeCacheStats() }
+
 // CheckInvariants validates the index structure (for tests and tooling).
 func (t *Tree) CheckInvariants() error { return t.inner.CheckInvariants() }
 
@@ -456,13 +469,14 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 	}
 	t.latency = pagefile.NewLatencyStore(base, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
 	inner, err := core.Open(t.latency, 1, core.Options{
-		MCSamples:       cfg.MonteCarloSamples,
-		ExactRefinement: cfg.ExactRefinement,
-		Seed:            cfg.Seed,
-		BufferPages:     cfg.BufferPages,
-		PrefetchWorkers: cfg.PrefetchWorkers,
-		ReclaimInterval: cfg.ReclaimInterval,
-		ReclaimBudget:   cfg.ReclaimPageBudget,
+		MCSamples:        cfg.MonteCarloSamples,
+		ExactRefinement:  cfg.ExactRefinement,
+		Seed:             cfg.Seed,
+		BufferPages:      cfg.BufferPages,
+		NodeCacheEntries: cfg.NodeCacheEntries,
+		PrefetchWorkers:  cfg.PrefetchWorkers,
+		ReclaimInterval:  cfg.ReclaimInterval,
+		ReclaimBudget:    cfg.ReclaimPageBudget,
 	})
 	if err != nil {
 		fs.Close()
