@@ -15,9 +15,10 @@
 //	ubench -experiment writepath -group 32    # group-commit write-path sweep
 //	ubench -parallel -query-timeout 5         # per-query deadlines; cancelled counts in -json rows
 //	ubench -parallel -limit 8 -page-budget 32 -mc-samples 500   # per-query option knobs
+//	ubench -experiment faultpath -short       # chaos-injection fault-tolerance check, CI size
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
-// sharded, pipeline, writepath, cpupath, all.
+// sharded, pipeline, writepath, cpupath, faultpath, all.
 //
 // -json writes the throughput experiments' structured rows (workload
 // params, q/s, merged query stats) to a file, so perf trajectories can be
@@ -65,11 +66,13 @@ type jsonReport struct {
 	Pipeline  []experiments.PipelineRow  `json:",omitempty"`
 	WritePath []experiments.WritePathRow `json:",omitempty"`
 	CPUPath   []experiments.CPUPathRow   `json:",omitempty"`
+	FaultPath []experiments.FaultPathRow `json:",omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|cpupath|all")
+		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|cpupath|faultpath|all")
+		short    = flag.Bool("short", false, "shrink the dataset scale and query count for CI smoke runs")
 		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
 		queries  = flag.Int("queries", 0, "queries per workload (0 = default)")
 		samples  = flag.Int("mc", 0, "monte-carlo samples per probability (0 = default)")
@@ -125,6 +128,15 @@ func main() {
 	if *queryTimeoutMS < 0 || *queryLimit < 0 || *pageBudget < 0 || *mcSamples < 0 {
 		fmt.Fprintln(os.Stderr, "-query-timeout, -limit, -page-budget and -mc-samples must be ≥ 0")
 		os.Exit(2)
+	}
+
+	if *short {
+		if *scale > 0.02 {
+			*scale = 0.02
+		}
+		if *queries == 0 {
+			*queries = 16
+		}
 	}
 
 	cfg := experiments.Config{
@@ -230,6 +242,14 @@ func main() {
 		run("writepath", func() error {
 			rows, err := experiments.WritePath(cfg, groupSweep(*group))
 			report.WritePath = rows
+			return err
+		})
+		ran = true
+	}
+	if all || *exp == "faultpath" {
+		run("faultpath", func() error {
+			rows, err := experiments.FaultPath(cfg)
+			report.FaultPath = rows
 			return err
 		})
 		ran = true

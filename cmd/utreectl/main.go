@@ -6,6 +6,14 @@
 //	utreectl verify -index /tmp/lb.utree
 //	utreectl query  -index /tmp/lb.utree -rect 1000,1000,2000,2000 -prob 0.7
 //	utreectl nn     -index /tmp/lb.utree -point 5000,5000 -k 5
+//	utreectl migrate -index /tmp/old.utree -out /tmp/new.utree
+//
+// migrate rewrites an index file into the current checksummed page format
+// (v2): every page gains a CRC32-C trailer verified on each read. A v1
+// (pre-checksum) source is upgraded; a v2 source is re-verified and
+// resealed — a corrupt source page fails the migration rather than being
+// laundered into a fresh checksum. stats reports storage health alongside
+// structure: retry counts, quarantined pages and scrubber progress.
 //
 // Every subcommand accepts -buffer (page-cache size in pages) and -latency
 // (simulated per-page storage delay, milliseconds) to exercise the index
@@ -35,6 +43,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/pagefile"
 	"repro/uncertain"
 )
 
@@ -53,6 +62,7 @@ func main() {
 		point    = fs.String("point", "", "query point for nn: x1,x2[,x3]")
 		k        = fs.Int("k", 5, "neighbor count for nn")
 		upcr     = fs.Bool("upcr", false, "build the U-PCR variant instead")
+		outPath  = fs.String("out", "", "destination file for migrate (required by migrate)")
 		buffer   = fs.Int("buffer", 0, "buffer pool size in pages (0 = default 256)")
 		latency  = fs.Float64("latency", 0, "simulated per-page storage latency, milliseconds (0 disables; paper era model: 10)")
 		prefetch = fs.Int("prefetch", 0, "intra-query prefetch fan-out: concurrent page fetches one query may have in flight (0 disables)")
@@ -100,6 +110,8 @@ func main() {
 		err = query(*index, *rect, *prob, cfg, q)
 	case "nn":
 		err = nearest(*index, *point, *k, cfg, q)
+	case "migrate":
+		err = migrate(*index, *outPath)
 	default:
 		usage()
 	}
@@ -156,7 +168,7 @@ func explainPartial(err error, elapsed time.Duration, budget int) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: utreectl build|stats|verify|query|nn -index PATH [flags]")
+	fmt.Fprintln(os.Stderr, "usage: utreectl build|stats|verify|query|nn|migrate -index PATH [flags]")
 	os.Exit(2)
 }
 
@@ -220,6 +232,36 @@ func stats(path string, cfg uncertain.Config) error {
 	} else {
 		fmt.Printf("node cache: no lookups\n")
 	}
+	h := tree.Health()
+	fmt.Printf("health:    %d quarantined pages, %d transient-fault retries; scrubbed %d pages (%d corrupt)\n",
+		h.QuarantinedPages, h.Retries, h.ScrubbedPages, h.ScrubErrors)
+	for _, qp := range h.Quarantined {
+		fmt.Printf("  quarantined page %d (epoch %d): %s\n", qp.Page, qp.Epoch, qp.Cause)
+	}
+	return nil
+}
+
+// migrate rewrites the index file at src into the checksummed v2 page
+// format at dst. The source is never modified; a corrupt v2 source page
+// aborts the migration.
+func migrate(src, dst string) error {
+	if dst == "" {
+		return fmt.Errorf("missing -out")
+	}
+	s, err := pagefile.OpenFileStore(src)
+	if err != nil {
+		return err
+	}
+	from, pages := s.Version(), s.NumPages()
+	if err := s.Close(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := pagefile.MigrateFileStore(src, dst); err != nil {
+		return err
+	}
+	fmt.Printf("migrated %s (format v%d, %d pages) → %s (format v2, CRC32-C page trailers) in %v\n",
+		src, from, pages, dst, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

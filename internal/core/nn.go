@@ -53,6 +53,11 @@ type NNStats struct {
 	// zero when the cache is disabled).
 	NodeCacheHits   int
 	NodeCacheMisses int
+
+	// Retries counts the transient-fault retries the storage stack
+	// performed while this query ran (see QueryStats.Retries for the
+	// attribution caveat under concurrency).
+	Retries int
 }
 
 // Add accumulates o into s — the NN counterpart of QueryStats.Add, shared
@@ -67,6 +72,7 @@ func (s *NNStats) Add(o NNStats) {
 	s.PagesFetched += o.PagesFetched
 	s.NodeCacheHits += o.NodeCacheHits
 	s.NodeCacheMisses += o.NodeCacheMisses
+	s.Retries += o.Retries
 }
 
 // nnItem is a priority-queue element: either a tree node or a leaf object
@@ -141,10 +147,12 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
 
 	meter := fetchMeter{budget: plan.budget}
+	retries0 := t.store.Stats().Retries.Load()
 	partial := func(err error) ([]NNResult, NNStats, error) {
 		stats.PagesFetched = meter.spent
 		stats.NodeCacheHits = meter.ncHits
 		stats.NodeCacheMisses = meter.ncMisses
+		stats.Retries = int(t.store.Stats().Retries.Load() - retries0)
 		return best, stats, err
 	}
 
@@ -226,6 +234,9 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 	if plan.budget > 0 {
 		stats.PagesFetched = meter.spent
 	}
+	stats.NodeCacheHits = meter.ncHits
+	stats.NodeCacheMisses = meter.ncMisses
+	stats.Retries = int(t.store.Stats().Retries.Load() - retries0)
 	return best, stats, nil
 }
 

@@ -42,15 +42,23 @@ func (t *Tree) maybeCacheNode(n *node) {
 }
 
 // readNodeMiss is readNode plus the buffer pool's per-call miss report,
-// which the budgeted query path charges against its page budget.
+// which the budgeted query path charges against its page budget. Pages in
+// the quarantine registry fast-fail before touching storage, and a read or
+// decode that proves corruption quarantines the page on its way out.
 func (t *Tree) readNodeMiss(id pagefile.PageID) (*node, bool, error) {
 	t.nodeReads.Add(1)
+	if err := t.checkQuarantine(id); err != nil {
+		return nil, false, err
+	}
 	buf, miss, err := t.pool.GetMiss(id)
 	if err != nil {
-		return nil, miss, fmt.Errorf("core: reading node %d: %w", id, err)
+		return nil, miss, fmt.Errorf("core: reading node %d: %w", id, t.noteReadError(id, err))
 	}
 	n, err := t.decodeNode(id, buf)
-	return n, miss, err
+	if err != nil {
+		return nil, miss, t.noteReadError(id, err)
+	}
+	return n, miss, nil
 }
 
 // writeNode serializes a node to its page — copy-on-write: a node whose
@@ -134,7 +142,13 @@ func (t *Tree) decodeNode(id pagefile.PageID, buf []byte) (*node, error) {
 		cap, sz = t.leafCap, t.leafEntrySize
 	}
 	if count > cap {
-		return nil, fmt.Errorf("core: corrupt node %d: count %d exceeds capacity %d", id, count, cap)
+		// A structurally impossible header is corruption the checksum layer
+		// did not (or, on v1 files, could not) catch; type it so the
+		// quarantine and degraded-read machinery treat it like one.
+		return nil, fmt.Errorf("core: corrupt node %d: %w", id, &pagefile.BadPageError{
+			Page:   id,
+			Reason: fmt.Sprintf("entry count %d exceeds capacity %d", count, cap),
+		})
 	}
 	n.entries = make([]entry, count)
 	off := nodeHeader

@@ -47,6 +47,12 @@ type QueryOpts struct {
 	// results and stats gathered so far. A budgeted query runs without
 	// prefetching so the accounting is exact.
 	PageBudget int
+	// AllowDegraded opts a scatter-gather query into partial answers when
+	// some (not all) shards fail with a storage error: the healthy shards'
+	// results are returned together with a typed degraded-mode error. The
+	// core traversal itself ignores the flag — a single tree has no
+	// healthy remainder to serve — it is consumed by the sharded layer.
+	AllowDegraded bool
 }
 
 // qplan is a QueryOpts resolved against the tree's configuration: every

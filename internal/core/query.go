@@ -66,6 +66,14 @@ type QueryStats struct {
 	// the node decode entirely.
 	NodeCacheHits   int
 	NodeCacheMisses int
+
+	// Retries counts the transient-fault retries the storage stack
+	// performed while this query ran (RetryStore attempts beyond each
+	// operation's first). Measured as the delta of the store-wide retry
+	// counter over the query, so with concurrent queries on one tree a
+	// retry may be attributed to whichever query was in flight — the sum
+	// across queries remains exact.
+	Retries int
 }
 
 // Add accumulates o into s, field by field. It is the single merge point
@@ -88,6 +96,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.PagesFetched += o.PagesFetched
 	s.NodeCacheHits += o.NodeCacheHits
 	s.NodeCacheMisses += o.NodeCacheMisses
+	s.Retries += o.Retries
 }
 
 // RangeQuery executes a prob-range query (Section 5.2): Observation 4
@@ -208,20 +217,38 @@ func (t *Tree) readNodeVia(ses *pagefile.PrefetchSession, id pagefile.PageID) (*
 		return t.readNode(id)
 	}
 	t.nodeReads.Add(1)
+	if err := t.checkQuarantine(id); err != nil {
+		return nil, err
+	}
 	buf, err := ses.Get(id)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading node %d: %w", id, err)
+		return nil, fmt.Errorf("core: reading node %d: %w", id, t.noteReadError(id, err))
 	}
-	return t.decodeNode(id, buf)
+	n, err := t.decodeNode(id, buf)
+	if err != nil {
+		return nil, t.noteReadError(id, err)
+	}
+	return n, nil
 }
 
 // readDataPageVia reads a data page through the session when active, else
-// directly from the data file.
+// directly from the data file. Quarantined pages fast-fail; a read that
+// proves corruption quarantines the page.
 func (t *Tree) readDataPageVia(ses *pagefile.PrefetchSession, id pagefile.PageID) ([]byte, error) {
-	if ses == nil {
-		return t.data.ReadPage(id)
+	if err := t.checkQuarantine(id); err != nil {
+		return nil, err
 	}
-	return ses.Get(id)
+	var buf []byte
+	var err error
+	if ses == nil {
+		buf, err = t.data.ReadPage(id)
+	} else {
+		buf, err = ses.Get(id)
+	}
+	if err != nil {
+		return nil, t.noteReadError(id, err)
+	}
+	return buf, nil
 }
 
 // rangeQuery is the shared implementation of every range entry point: a
@@ -253,6 +280,7 @@ func (t *Tree) rangeQuery(root pagefile.PageID, q Query, rng *rand.Rand, plan *q
 	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
 
 	meter := fetchMeter{budget: plan.budget}
+	retries0 := t.store.Stats().Retries.Load()
 	// partial finalizes an early exit (cancel, budget, limit): the results
 	// so far are valid answers, the stats describe the work actually done.
 	partial := func(err error) ([]Result, QueryStats, error) {
@@ -260,6 +288,7 @@ func (t *Tree) rangeQuery(root pagefile.PageID, q Query, rng *rand.Rand, plan *q
 		stats.PagesFetched = meter.spent
 		stats.NodeCacheHits = meter.ncHits
 		stats.NodeCacheMisses = meter.ncMisses
+		stats.Retries = int(t.store.Stats().Retries.Load() - retries0)
 		return results, stats, err
 	}
 
@@ -413,6 +442,7 @@ descent:
 	}
 	stats.NodeCacheHits = meter.ncHits
 	stats.NodeCacheMisses = meter.ncMisses
+	stats.Retries = int(t.store.Stats().Retries.Load() - retries0)
 	return results, stats, nil
 }
 

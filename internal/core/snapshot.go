@@ -113,10 +113,14 @@ func (t *Tree) GCStats() (epoch uint64, pins int, pendingPages int) {
 // and tombstones, lifetime reclaim counters, and reclaimer state.
 func (t *Tree) GCInfo() pagefile.GCInfo { return t.vs.GCInfo() }
 
-// StopBackgroundReclaim stops the background epoch reclaimer if Options
-// started one; idempotent. Garbage it had not drained is picked up by the
-// next Commit, Reclaim or Flush.
-func (t *Tree) StopBackgroundReclaim() { t.vs.StopReclaimer() }
+// StopBackgroundReclaim stops the background goroutines Options started —
+// the epoch reclaimer and the page scrubber; idempotent. Garbage the
+// reclaimer had not drained is picked up by the next Commit, Reclaim or
+// Flush.
+func (t *Tree) StopBackgroundReclaim() {
+	t.vs.StopReclaimer()
+	t.StopScrubber()
+}
 
 // Reclaim drains whatever retired pages and deferred tombstones the
 // current snapshot pins allow. Writer-side, like Commit.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +64,16 @@ type Options struct {
 	// Coherence is automatic — entries drop when the versioned store
 	// physically frees their page, and shadow pages are never cached.
 	NodeCacheEntries int
+	// ScrubInterval > 0 starts the background page scrubber: a dedicated
+	// goroutine periodically walks the committed tree and verifies page
+	// checksums through the store's PageVerifier probe, quarantining
+	// latent corruption before any query trips over it (see HealthInfo).
+	// The owner must StopBackgroundReclaim (which stops the scrubber too)
+	// before discarding the tree.
+	ScrubInterval time.Duration
+	// ScrubBudget bounds the page verifications one scrub tick performs
+	// (0 selects DefaultScrubBudget); ignored when ScrubInterval is 0.
+	ScrubBudget int
 }
 
 // SplitStrategy selects the rectangles fed to the R* split during overflow
@@ -140,6 +151,17 @@ type Tree struct {
 
 	// inBatch marks an open explicit batch (BeginBatch/CommitBatch).
 	inBatch bool
+
+	// Storage-health state (see health.go and scrub.go): the quarantine
+	// registry of condemned pages, the background scrubber's control
+	// block and work queue, and its lifetime progress counters.
+	quar         quarantine
+	scrubMu      sync.Mutex
+	scrub        *scrubState
+	scrubQueueMu sync.Mutex
+	scrubQueue   []pagefile.PageID
+	scrubbed     atomic.Int64
+	scrubErrs    atomic.Int64
 }
 
 // UpdateStats accumulates the paper's update-cost breakdown.
@@ -230,6 +252,7 @@ func New(opt Options) (*Tree, error) {
 		return nil, err
 	}
 	t.vs.StartReclaimer(opt.ReclaimInterval, opt.ReclaimBudget)
+	t.StartScrubber(opt.ScrubInterval, opt.ScrubBudget)
 	return t, nil
 }
 

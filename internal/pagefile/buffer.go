@@ -27,6 +27,14 @@ type BufferPool struct {
 	shards []bufShard
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// evictMu/evictErr stash the first dirty-victim write-back failure hit
+	// on a read path (GetMiss cannot return it without failing a read that
+	// succeeded). Surfaced at the next Flush, mirroring the reclaimer's
+	// deferred-error pattern; the failed victim stays dirty in the pool, so
+	// no data is lost while the error travels.
+	evictMu  sync.Mutex
+	evictErr error
 }
 
 // bufShard is one mutex-guarded LRU slice of the pool.
@@ -134,6 +142,7 @@ func (bp *BufferPool) GetMiss(id PageID) (data []byte, miss bool, err error) {
 	fr := &frame{id: id, data: make([]byte, PageSize)}
 	err = bp.store.Read(id, fr.data)
 
+	var evictErr error
 	sh.mu.Lock()
 	delete(sh.loading, id)
 	if err == nil {
@@ -143,7 +152,7 @@ func (bp *BufferPool) GetMiss(id PageID) (data []byte, miss bool, err error) {
 			sh.lru.MoveToFront(el)
 			fr = el.Value.(*frame)
 		} else {
-			err = sh.insert(bp.store, fr)
+			evictErr = sh.insert(bp.store, fr)
 		}
 	}
 	sh.mu.Unlock()
@@ -153,9 +162,33 @@ func (bp *BufferPool) GetMiss(id PageID) (data []byte, miss bool, err error) {
 		close(pl.done)
 		return nil, true, err
 	}
+	if evictErr != nil {
+		// The read succeeded; only a dirty victim's write-back failed. The
+		// victim stays dirty in the pool — serve the data and surface the
+		// write failure at the next Flush rather than failing this read.
+		bp.stashEvictErr(evictErr)
+	}
 	pl.data = fr.data
 	close(pl.done)
 	return fr.data, true, nil
+}
+
+// stashEvictErr records the first deferred eviction write-back failure.
+func (bp *BufferPool) stashEvictErr(err error) {
+	bp.evictMu.Lock()
+	if bp.evictErr == nil {
+		bp.evictErr = err
+	}
+	bp.evictMu.Unlock()
+}
+
+// takeEvictErr returns and clears the stashed eviction failure.
+func (bp *BufferPool) takeEvictErr() error {
+	bp.evictMu.Lock()
+	err := bp.evictErr
+	bp.evictErr = nil
+	bp.evictMu.Unlock()
+	return err
 }
 
 // Contains reports whether the page is currently cached (a Get would hit).
@@ -171,7 +204,9 @@ func (bp *BufferPool) Contains(id PageID) bool {
 }
 
 // Put stores page contents (marking the frame dirty; flushed on eviction or
-// Flush).
+// Flush). A returned error reports a dirty VICTIM's failed write-back, not
+// a failure to cache data: the put page is in the pool (dirty) either way,
+// and the victim stays dirty too.
 func (bp *BufferPool) Put(id PageID, data []byte) error {
 	if len(data) != PageSize {
 		return ErrBadLength
@@ -197,20 +232,28 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 // concurrent Get from re-reading the not-yet-written page; read-heavy
 // phases avoid the stall by flushing beforehand (Tree.Flush), after which
 // query-path evictions are all clean.
+//
+// A failed dirty-victim write-back must not lose data in either
+// direction: the victim stays in the pool, still dirty (its bytes exist
+// nowhere else), AND fr is inserted anyway — the shard runs one frame
+// over capacity until a later eviction or Flush succeeds. The error is
+// returned for the caller to surface or stash.
 func (sh *bufShard) insert(store Store, fr *frame) error {
+	var evictErr error
 	for sh.lru.Len() >= sh.capacity {
 		back := sh.lru.Back()
 		victim := back.Value.(*frame)
 		if victim.dirty {
 			if err := store.Write(victim.id, victim.data); err != nil {
-				return fmt.Errorf("pagefile: evicting page %d: %w", victim.id, err)
+				evictErr = fmt.Errorf("pagefile: evicting page %d: %w", victim.id, err)
+				break
 			}
 		}
 		sh.lru.Remove(back)
 		delete(sh.frames, victim.id)
 	}
 	sh.frames[fr.id] = sh.lru.PushFront(fr)
-	return nil
+	return evictErr
 }
 
 // Invalidate drops a page from the cache without writing it back; used when
@@ -225,8 +268,13 @@ func (bp *BufferPool) Invalidate(id PageID) {
 	}
 }
 
-// Flush writes back every dirty frame.
+// Flush writes back every dirty frame. It attempts ALL frames even after
+// a failure — a single bad page must not pin every other dirty page in
+// memory — and returns the first error; frames whose write failed stay
+// dirty for the next attempt. A write-back failure stashed by an earlier
+// eviction surfaces here too.
 func (bp *BufferPool) Flush() error {
+	first := bp.takeEvictErr()
 	for i := range bp.shards {
 		sh := &bp.shards[i]
 		sh.mu.Lock()
@@ -234,15 +282,35 @@ func (bp *BufferPool) Flush() error {
 			fr := el.Value.(*frame)
 			if fr.dirty {
 				if err := bp.store.Write(fr.id, fr.data); err != nil {
-					sh.mu.Unlock()
-					return err
+					if first == nil {
+						first = fmt.Errorf("pagefile: flushing page %d: %w", fr.id, err)
+					}
+					continue
 				}
 				fr.dirty = false
 			}
 		}
 		sh.mu.Unlock()
 	}
-	return nil
+	return first
+}
+
+// Dirty reports the number of dirty frames across all shards — test
+// instrumentation for the error-path contract that failed write-backs
+// keep their frames dirty.
+func (bp *BufferPool) Dirty() int {
+	n := 0
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			if el.Value.(*frame).dirty {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // HitRate reports cache effectiveness (hits, misses).

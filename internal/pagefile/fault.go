@@ -2,79 +2,35 @@ package pagefile
 
 import (
 	"errors"
-	"sync/atomic"
 )
 
-// ErrInjected is the error surfaced by FaultStore when a fault triggers.
+// ErrInjected is the error surfaced by injected faults (FaultStore and
+// ChaosStore alike).
 var ErrInjected = errors.New("pagefile: injected fault")
 
-// FaultStore wraps a Store and fails operations once a countdown reaches
-// zero — the failure-injection harness for exercising error paths in the
-// trees and the data file.
+// FaultStore is the legacy one-shot countdown injector, kept as a thin
+// shim over ChaosStore for the crash sweeps: every operation after n
+// successes fails permanently with ErrInjected. New error-path tests
+// should use ChaosStore directly — it adds probabilistic triggers,
+// transient faults, bit flips, torn writes and latency spikes.
 type FaultStore struct {
-	Inner     Store
-	failAfter atomic.Int64 // remaining successful ops; <0 disables
+	*ChaosStore
+	h *RuleHandle
 }
 
 // NewFaultStore wraps inner, failing every operation after n successes.
 // n < 0 disables injection.
 func NewFaultStore(inner Store, n int64) *FaultStore {
-	fs := &FaultStore{Inner: inner}
-	fs.failAfter.Store(n)
-	return fs
+	cs := NewChaosStore(inner, 0)
+	h := cs.MustAddRule(ChaosRule{Op: OpAny, Fault: FaultPermanent, Countdown: n, Sticky: true})
+	return &FaultStore{ChaosStore: cs, h: h}
 }
 
 // Arm resets the countdown.
-func (f *FaultStore) Arm(n int64) { f.failAfter.Store(n) }
+func (f *FaultStore) Arm(n int64) { f.h.Arm(n) }
 
 // Remaining reports the successful operations left before the fault fires
 // (< 0 when injection is disabled). A crash sweep uses it to detect that
 // the countdown outlived the operation under test — every offset has been
 // exercised.
-func (f *FaultStore) Remaining() int64 { return f.failAfter.Load() }
-
-func (f *FaultStore) tick() error {
-	for {
-		cur := f.failAfter.Load()
-		if cur < 0 {
-			return nil
-		}
-		if cur == 0 {
-			return ErrInjected
-		}
-		if f.failAfter.CompareAndSwap(cur, cur-1) {
-			return nil
-		}
-	}
-}
-
-func (f *FaultStore) Alloc() (PageID, error) {
-	if err := f.tick(); err != nil {
-		return InvalidPage, err
-	}
-	return f.Inner.Alloc()
-}
-
-func (f *FaultStore) Read(id PageID, buf []byte) error {
-	if err := f.tick(); err != nil {
-		return err
-	}
-	return f.Inner.Read(id, buf)
-}
-
-func (f *FaultStore) Write(id PageID, buf []byte) error {
-	if err := f.tick(); err != nil {
-		return err
-	}
-	return f.Inner.Write(id, buf)
-}
-
-func (f *FaultStore) Free(id PageID) error {
-	if err := f.tick(); err != nil {
-		return err
-	}
-	return f.Inner.Free(id)
-}
-
-func (f *FaultStore) NumPages() int { return f.Inner.NumPages() }
-func (f *FaultStore) Stats() *Stats { return f.Inner.Stats() }
+func (f *FaultStore) Remaining() int64 { return f.h.Remaining() }

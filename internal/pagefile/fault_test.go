@@ -1,0 +1,546 @@
+package pagefile
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fillPage returns a page-sized buffer with a recognizable pattern.
+func fillPage(seed byte) []byte {
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = seed + byte(i%251)
+	}
+	return buf
+}
+
+func TestFileStoreChecksumRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.pg")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Version() != 2 {
+		t.Fatalf("new store version = %d, want 2", fs.Version())
+	}
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillPage(7)
+	if err := fs.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err = OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	got := make([]byte, PageSize)
+	if err := fs.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted across reopen")
+	}
+	if err := fs.VerifyPage(id); err != nil {
+		t.Fatalf("VerifyPage on intact page: %v", err)
+	}
+}
+
+func TestFileStoreDetectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.pg")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	id, _ := fs.Alloc()
+	if err := fs.Write(id, fillPage(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptPayload(id, 12345); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	err = fs.Read(id, buf)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read of corrupt page: %v, want ErrChecksum", err)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.Page != id || ce.Want == ce.Got {
+		t.Fatalf("checksum error detail wrong: %+v", ce)
+	}
+	if err := fs.VerifyPage(id); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("VerifyPage on corrupt page: %v, want ErrChecksum", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("checksum errors must not be transient")
+	}
+}
+
+func TestFileStoreDetectsTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.pg")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	id, _ := fs.Alloc()
+	if err := fs.Write(id, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A torn write persists half the new page over the old one; the stale
+	// trailer no longer matches.
+	if err := fs.WriteTorn(id, fillPage(99), PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := fs.Read(id, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read of torn page: %v, want ErrChecksum", err)
+	}
+}
+
+func TestFileStoreV1StillWorks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.pg")
+	fs, err := CreateFileStoreV1(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Version() != 1 {
+		t.Fatalf("v1 store version = %d", fs.Version())
+	}
+	id, _ := fs.Alloc()
+	want := fillPage(5)
+	if err := fs.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs, err = OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Version() != 1 {
+		t.Fatalf("reopened v1 store version = %d", fs.Version())
+	}
+	got := make([]byte, PageSize)
+	if err := fs.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("v1 payload corrupted")
+	}
+	// Nothing to verify on v1: no trailer.
+	if err := fs.VerifyPage(id); err != nil {
+		t.Fatalf("VerifyPage on v1: %v", err)
+	}
+}
+
+func TestMigrateFileStoreV1ToV2(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "v1.pg")
+	dst := filepath.Join(dir, "v2.pg")
+	fs, err := CreateFileStoreV1(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(id, fillPage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Free one so the migrated file carries a non-trivial free list.
+	if err := fs.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := MigrateFileStore(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenFileStore(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Version() != 2 {
+		t.Fatalf("migrated version = %d, want 2", m.Version())
+	}
+	if m.NumPages() != 4 {
+		t.Fatalf("migrated live pages = %d, want 4", m.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if i == 2 {
+			continue
+		}
+		if err := m.Read(id, buf); err != nil {
+			t.Fatalf("page %d after migration: %v", id, err)
+		}
+		if !bytes.Equal(buf, fillPage(byte(i))) {
+			t.Fatalf("page %d payload changed by migration", id)
+		}
+	}
+	// The free list survived: allocating reuses the freed page.
+	id, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[2] {
+		t.Fatalf("alloc after migration = %d, want recycled %d", id, ids[2])
+	}
+}
+
+func TestMigrateRefusesCorruptSource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.pg")
+	fs, err := CreateFileStore(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := fs.Alloc()
+	if err := fs.Write(id, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptPayload(id, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err == nil {
+		// Close writes the header; corruption elsewhere doesn't fail it.
+		_ = err
+	}
+	err = MigrateFileStore(src, filepath.Join(dir, "dst.pg"))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("migrating corrupt source: %v, want ErrChecksum", err)
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("disk hiccup")
+	if IsTransient(base) {
+		t.Fatal("unmarked error reported transient")
+	}
+	m := MarkTransient(base)
+	if !IsTransient(m) {
+		t.Fatal("marked error not transient")
+	}
+	if !errors.Is(m, base) {
+		t.Fatal("marking hides the cause")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+}
+
+func TestChaosStoreTransientCountdown(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 1)
+	h := cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Countdown: 2})
+	id, err := cs.Alloc() // Alloc doesn't match OpRead
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := 0; i < 2; i++ {
+		if err := cs.Read(id, buf); err != nil {
+			t.Fatalf("read %d before countdown: %v", i, err)
+		}
+	}
+	err = cs.Read(id, buf)
+	if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+		t.Fatalf("countdown read: %v, want transient ErrInjected", err)
+	}
+	if h.Triggered() != 1 {
+		t.Fatalf("triggered = %d, want 1", h.Triggered())
+	}
+	// Non-sticky: next read succeeds.
+	if err := cs.Read(id, buf); err != nil {
+		t.Fatalf("read after non-sticky trigger: %v", err)
+	}
+	if cs.InjectedCount(FaultTransient) != 1 {
+		t.Fatalf("injected count = %d", cs.InjectedCount(FaultTransient))
+	}
+}
+
+func TestChaosStoreProbabilisticDeterminism(t *testing.T) {
+	run := func() int64 {
+		inner := NewMemStore()
+		cs := NewChaosStore(inner, 42)
+		h := cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Prob: 0.3})
+		id, _ := cs.Alloc()
+		buf := make([]byte, PageSize)
+		for i := 0; i < 200; i++ {
+			_ = cs.Read(id, buf)
+		}
+		return h.Triggered()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("implausible trigger count %d for p=0.3 over 200 ops", a)
+	}
+}
+
+func TestChaosStoreBitFlipOnFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.pg")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	cs := NewChaosStore(fs, 7)
+	id, _ := cs.Alloc()
+	if err := cs.Write(id, fillPage(9)); err != nil {
+		t.Fatal(err)
+	}
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultBitFlip, Countdown: 0, Bit: -1})
+	buf := make([]byte, PageSize)
+	if err := cs.Read(id, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("bit-flipped read on checksummed store: %v, want ErrChecksum", err)
+	}
+	// The damage is on the medium: later reads without injection fail too.
+	if err := fs.Read(id, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("direct read after flip: %v, want ErrChecksum", err)
+	}
+}
+
+func TestChaosStoreTornWriteOnFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pg")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	cs := NewChaosStore(fs, 7)
+	id, _ := cs.Alloc()
+	if err := cs.Write(id, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	cs.MustAddRule(ChaosRule{Op: OpWrite, Fault: FaultTornWrite, Countdown: 0})
+	// The torn write reports success — tearing is silent until read back.
+	if err := cs.Write(id, fillPage(50)); err != nil {
+		t.Fatalf("torn write surfaced an error: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if err := cs.Read(id, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read after torn write: %v, want ErrChecksum", err)
+	}
+}
+
+func TestChaosStoreRuleValidation(t *testing.T) {
+	cs := NewChaosStore(NewMemStore(), 0)
+	if _, err := cs.AddRule(ChaosRule{Op: OpWrite, Fault: FaultBitFlip}); err == nil {
+		t.Fatal("bit-flip on writes accepted")
+	}
+	if _, err := cs.AddRule(ChaosRule{Op: OpRead, Fault: FaultTornWrite}); err == nil {
+		t.Fatal("torn write on reads accepted")
+	}
+}
+
+func TestChaosStoreLatencyRule(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultLatency, Countdown: 0, Latency: 20 * time.Millisecond})
+	id, _ := cs.Alloc()
+	buf := make([]byte, PageSize)
+	start := time.Now()
+	if err := cs.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency spike not applied: %v", d)
+	}
+}
+
+func TestRetryStoreRecoversTransient(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	// Fails the next 2 reads transiently, then heals.
+	h := cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Countdown: 0, Sticky: true})
+	rs := NewRetryStore(cs, RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond})
+	id, err := rs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow exactly 2 failures: disarm after two triggers by re-arming the
+	// rule off-thread is racy, so instead use countdown+non-sticky twice.
+	h.Arm(-1)
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Countdown: 0})
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Countdown: 0})
+	buf := make([]byte, PageSize)
+	if err := rs.Read(id, buf); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if rs.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", rs.Retries())
+	}
+	if got := inner.Stats().Retries.Load(); got != 2 {
+		t.Fatalf("Stats.Retries = %d, want 2", got)
+	}
+}
+
+func TestRetryStoreGivesUpAfterMaxAttempts(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Countdown: 0, Sticky: true})
+	rs := NewRetryStore(cs, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond})
+	id, _ := rs.Alloc()
+	buf := make([]byte, PageSize)
+	err := rs.Read(id, buf)
+	if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+		t.Fatalf("exhausted retry: %v, want transient ErrInjected", err)
+	}
+	if rs.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", rs.Retries())
+	}
+}
+
+func TestRetryStoreDoesNotRetryPermanent(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultPermanent, Countdown: 0, Sticky: true})
+	rs := NewRetryStore(cs, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond})
+	id, _ := rs.Alloc()
+	buf := make([]byte, PageSize)
+	if err := rs.Read(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("permanent fault: %v", err)
+	}
+	if rs.Retries() != 0 {
+		t.Fatalf("permanent error was retried %d times", rs.Retries())
+	}
+}
+
+func TestRetryStoreBoundContextAbortsBackoff(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	cs.MustAddRule(ChaosRule{Op: OpRead, Fault: FaultTransient, Countdown: 0, Sticky: true})
+	rs := NewRetryStore(cs, RetryPolicy{MaxAttempts: 1000, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second})
+	id, _ := rs.Alloc()
+	ctx, cancel := context.WithCancel(context.Background())
+	unbind := rs.BindContext(ctx)
+	defer unbind()
+	cancel()
+	buf := make([]byte, PageSize)
+	start := time.Now()
+	err := rs.Read(id, buf)
+	if err == nil {
+		t.Fatal("read under sticky fault succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled backoff still slept %v", d)
+	}
+}
+
+func TestBufferPoolEvictionWriteFaultKeepsFrameDirty(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	pool := NewBufferPool(cs, 1)
+	a, _ := cs.Alloc()
+	b, _ := cs.Alloc()
+	if err := pool.Put(a, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	// All further writes fail: evicting dirty page a must not lose it.
+	wf := cs.MustAddRule(ChaosRule{Op: OpWrite, Fault: FaultPermanent, Countdown: 0, Sticky: true})
+	err := pool.Put(b, fillPage(2))
+	if err == nil {
+		t.Fatal("eviction write fault not surfaced by Put")
+	}
+	if got := pool.Dirty(); got != 2 {
+		t.Fatalf("dirty frames = %d, want 2 (victim kept + new put)", got)
+	}
+	// Both pages must still be readable from the pool with their contents.
+	for id, seed := range map[PageID]byte{a: 1, b: 2} {
+		data, err := pool.Get(id)
+		if err != nil {
+			t.Fatalf("get %d: %v", id, err)
+		}
+		if !bytes.Equal(data, fillPage(seed)) {
+			t.Fatalf("page %d contents lost", id)
+		}
+	}
+	// Flush keeps failing while the fault is armed, frames stay dirty...
+	if err := pool.Flush(); err == nil {
+		t.Fatal("flush under write fault succeeded")
+	}
+	if pool.Dirty() != 2 {
+		t.Fatalf("dirty after failed flush = %d, want 2", pool.Dirty())
+	}
+	// ...and succeeds once the store heals, with nothing lost.
+	wf.Arm(-1)
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("flush after heal: %v", err)
+	}
+	if pool.Dirty() != 0 {
+		t.Fatalf("dirty after heal flush = %d", pool.Dirty())
+	}
+	buf := make([]byte, PageSize)
+	for id, seed := range map[PageID]byte{a: 1, b: 2} {
+		if err := inner.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, fillPage(seed)) {
+			t.Fatalf("page %d not durable after heal", id)
+		}
+	}
+}
+
+func TestBufferPoolGetMissServesDataWhenEvictionFails(t *testing.T) {
+	inner := NewMemStore()
+	cs := NewChaosStore(inner, 0)
+	pool := NewBufferPool(cs, 1)
+	a, _ := cs.Alloc()
+	b, _ := cs.Alloc()
+	if err := cs.Write(b, fillPage(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put(a, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	wf := cs.MustAddRule(ChaosRule{Op: OpWrite, Fault: FaultPermanent, Countdown: 0, Sticky: true})
+	// Reading b evicts dirty a; the write-back fails but the READ succeeded
+	// — the data must be served and the error deferred to Flush.
+	data, err := pool.Get(b)
+	if err != nil {
+		t.Fatalf("get with failing eviction: %v", err)
+	}
+	if !bytes.Equal(data, fillPage(8)) {
+		t.Fatal("wrong data served")
+	}
+	wf.Arm(-1)
+	if err := pool.Flush(); err == nil {
+		t.Fatal("deferred eviction error not surfaced at Flush")
+	}
+	// Second flush: error cleared, everything durable.
+	if err := pool.Flush(); err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if err := inner.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fillPage(1)) {
+		t.Fatal("dirty victim lost after deferred eviction failure")
+	}
+}

@@ -4,35 +4,93 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 )
 
 // FileStore is a file-backed Store. Page 0 is a metadata page holding the
-// magic, page count and free-list head; user pages start at 1. Freed pages
-// form an intrusive linked list threaded through their first four bytes, so
-// a reopened file recovers its allocator state without a separate bitmap.
+// magic, page count, free-list head and format version; user pages start
+// at 1. Freed pages form an intrusive linked list threaded through their
+// first four bytes, so a reopened file recovers its allocator state
+// without a separate bitmap.
+//
+// Two on-disk formats coexist:
+//
+//   - v1 (legacy): pages are packed at id*PageSize with no integrity
+//     metadata. Readable and writable for compatibility; corruption is
+//     undetectable.
+//   - v2 (current): each physical page slot is PageSize+pageTrailerSize
+//     bytes — the logical 4096-byte payload followed by a trailer holding
+//     a CRC32-C over the payload and an echo of the PageID. Write seals
+//     the trailer; Read verifies it and returns a *ChecksumError (matching
+//     ErrChecksum) on mismatch, and a *BadPageError when the ID echo shows
+//     the slot holds a different page (a misdirected write). The logical
+//     page size seen by every layer above is unchanged, so tree fanout,
+//     node capacities and query results are byte-identical across formats.
+//
+// CreateFileStore writes v2; OpenFileStore accepts both; MigrateFileStore
+// upgrades v1 files.
 type FileStore struct {
 	mu       sync.Mutex
 	f        *os.File
 	numPages int // total pages including the header
 	freeHead PageID
 	liveN    int
+	version  int
+	scratch  []byte // stride-sized I/O staging buffer, under mu
 	stats    Stats
 }
 
-const fileMagic = 0x55545245 // "UTRE"
+const (
+	fileMagic = 0x55545245 // "UTRE"
+
+	// fileVersionV1 is implied by a zero version field (pre-checksum files
+	// wrote zeros there); fileVersionV2 is the checksummed format.
+	fileVersionV1 = 1
+	fileVersionV2 = 2
+
+	// pageTrailerSize is the per-page integrity trailer of the v2 format:
+	// CRC32-C over the payload (4 bytes) + PageID echo (4 bytes).
+	pageTrailerSize = 8
+
+	// headerVersionOff is the byte offset of the format version inside the
+	// header page.
+	headerVersionOff = 16
+)
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support on
+// both amd64 and arm64, and the one storage systems conventionally use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadMagic is returned when opening a file that is not a page file.
 var ErrBadMagic = errors.New("pagefile: bad magic (not a page file)")
 
-// CreateFileStore creates (truncating) a file-backed store at path.
+func newFileStore(f *os.File, version int) *FileStore {
+	fs := &FileStore{f: f, numPages: 1, freeHead: InvalidPage, version: version}
+	fs.scratch = make([]byte, fs.stride())
+	return fs
+}
+
+// CreateFileStore creates (truncating) a file-backed store at path in the
+// current (v2, checksummed) format.
 func CreateFileStore(path string) (*FileStore, error) {
+	return createFileStore(path, fileVersionV2)
+}
+
+// CreateFileStoreV1 creates a store in the legacy unchecksummed v1 format.
+// It exists for migration round-trip tests and for producing files older
+// deployments can read; new files should use CreateFileStore.
+func CreateFileStoreV1(path string) (*FileStore, error) {
+	return createFileStore(path, fileVersionV1)
+}
+
+func createFileStore(path string, version int) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	fs := &FileStore{f: f, numPages: 1, freeHead: InvalidPage}
+	fs := newFileStore(f, version)
 	if err := fs.writeHeader(); err != nil {
 		f.Close()
 		return nil, err
@@ -40,13 +98,14 @@ func CreateFileStore(path string) (*FileStore, error) {
 	return fs, nil
 }
 
-// OpenFileStore opens an existing store.
+// OpenFileStore opens an existing store, auto-detecting the format from
+// the header's version field (zero = v1, written before the field
+// existed).
 func OpenFileStore(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	fs := &FileStore{f: f}
 	buf := make([]byte, PageSize)
 	if _, err := f.ReadAt(buf, 0); err != nil {
 		f.Close()
@@ -56,10 +115,78 @@ func OpenFileStore(path string) (*FileStore, error) {
 		f.Close()
 		return nil, ErrBadMagic
 	}
+	version := int(binary.LittleEndian.Uint32(buf[headerVersionOff:]))
+	switch version {
+	case 0, fileVersionV1:
+		version = fileVersionV1
+	case fileVersionV2:
+	default:
+		f.Close()
+		return nil, fmt.Errorf("pagefile: unsupported format version %d", version)
+	}
+	fs := newFileStore(f, version)
 	fs.numPages = int(binary.LittleEndian.Uint32(buf[4:]))
 	fs.freeHead = PageID(binary.LittleEndian.Uint32(buf[8:]))
 	fs.liveN = int(binary.LittleEndian.Uint32(buf[12:]))
+	if version == fileVersionV2 {
+		// The header page carries a trailer too; verify it before trusting
+		// the allocator state we just decoded.
+		if err := fs.verifyLocked(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return fs, nil
+}
+
+// Version reports the on-disk format version (1 = legacy unchecksummed,
+// 2 = checksummed).
+func (fs *FileStore) Version() int { return fs.version }
+
+// stride is the physical bytes one page occupies on disk.
+func (fs *FileStore) stride() int64 {
+	if fs.version >= fileVersionV2 {
+		return PageSize + pageTrailerSize
+	}
+	return PageSize
+}
+
+func (fs *FileStore) off(id PageID) int64 { return int64(id) * fs.stride() }
+
+// writePageLocked persists buf (len PageSize) as page id, sealing the v2
+// trailer. Caller holds fs.mu.
+func (fs *FileStore) writePageLocked(id PageID, buf []byte) error {
+	if fs.version < fileVersionV2 {
+		_, err := fs.f.WriteAt(buf, fs.off(id))
+		return err
+	}
+	copy(fs.scratch, buf)
+	binary.LittleEndian.PutUint32(fs.scratch[PageSize:], crc32.Checksum(buf, castagnoli))
+	binary.LittleEndian.PutUint32(fs.scratch[PageSize+4:], uint32(id))
+	_, err := fs.f.WriteAt(fs.scratch, fs.off(id))
+	return err
+}
+
+// readPageLocked reads page id into buf (len PageSize), verifying the v2
+// trailer. Caller holds fs.mu.
+func (fs *FileStore) readPageLocked(id PageID, buf []byte) error {
+	if fs.version < fileVersionV2 {
+		_, err := fs.f.ReadAt(buf, fs.off(id))
+		return err
+	}
+	if _, err := fs.f.ReadAt(fs.scratch, fs.off(id)); err != nil {
+		return err
+	}
+	want := binary.LittleEndian.Uint32(fs.scratch[PageSize:])
+	got := crc32.Checksum(fs.scratch[:PageSize], castagnoli)
+	if want != got {
+		return &ChecksumError{Page: id, Want: want, Got: got}
+	}
+	if echo := PageID(binary.LittleEndian.Uint32(fs.scratch[PageSize+4:])); echo != id {
+		return &BadPageError{Page: id, Reason: fmt.Sprintf("trailer names page %d (misdirected write)", echo)}
+	}
+	copy(buf, fs.scratch[:PageSize])
+	return nil
 }
 
 func (fs *FileStore) writeHeader() error {
@@ -68,8 +195,10 @@ func (fs *FileStore) writeHeader() error {
 	binary.LittleEndian.PutUint32(buf[4:], uint32(fs.numPages))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(fs.freeHead))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(fs.liveN))
-	_, err := fs.f.WriteAt(buf, 0)
-	return err
+	if fs.version >= fileVersionV2 {
+		binary.LittleEndian.PutUint32(buf[headerVersionOff:], uint32(fs.version))
+	}
+	return fs.writePageLocked(0, buf)
 }
 
 // Abort closes the file without writing the header — the crash-simulation
@@ -100,18 +229,18 @@ func (fs *FileStore) Alloc() (PageID, error) {
 	if fs.freeHead != InvalidPage {
 		id := fs.freeHead
 		buf := make([]byte, PageSize)
-		if _, err := fs.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		if err := fs.readPageLocked(id, buf); err != nil {
 			return InvalidPage, err
 		}
 		fs.freeHead = PageID(binary.LittleEndian.Uint32(buf[0:]))
-		if _, err := fs.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		if err := fs.writePageLocked(id, zero); err != nil {
 			return InvalidPage, err
 		}
 		fs.liveN++
 		return id, fs.writeHeader()
 	}
 	id := PageID(fs.numPages)
-	if _, err := fs.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+	if err := fs.writePageLocked(id, zero); err != nil {
 		return InvalidPage, err
 	}
 	fs.numPages++
@@ -136,8 +265,7 @@ func (fs *FileStore) Read(id PageID, buf []byte) error {
 		return err
 	}
 	fs.stats.Reads.Add(1)
-	_, err := fs.f.ReadAt(buf, int64(id)*PageSize)
-	return err
+	return fs.readPageLocked(id, buf)
 }
 
 func (fs *FileStore) Write(id PageID, buf []byte) error {
@@ -150,8 +278,7 @@ func (fs *FileStore) Write(id PageID, buf []byte) error {
 		return err
 	}
 	fs.stats.Writes.Add(1)
-	_, err := fs.f.WriteAt(buf, int64(id)*PageSize)
-	return err
+	return fs.writePageLocked(id, buf)
 }
 
 func (fs *FileStore) Free(id PageID) error {
@@ -163,12 +290,89 @@ func (fs *FileStore) Free(id PageID) error {
 	fs.stats.Frees.Add(1)
 	buf := make([]byte, PageSize)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(fs.freeHead))
-	if _, err := fs.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+	if err := fs.writePageLocked(id, buf); err != nil {
 		return err
 	}
 	fs.freeHead = id
 	fs.liveN--
 	return fs.writeHeader()
+}
+
+// verifyLocked checks page id's trailer without copying the payload out or
+// charging Stats. Caller holds fs.mu; v1 files verify trivially.
+func (fs *FileStore) verifyLocked(id PageID) error {
+	if fs.version < fileVersionV2 {
+		return nil
+	}
+	if _, err := fs.f.ReadAt(fs.scratch, fs.off(id)); err != nil {
+		return err
+	}
+	want := binary.LittleEndian.Uint32(fs.scratch[PageSize:])
+	got := crc32.Checksum(fs.scratch[:PageSize], castagnoli)
+	if want != got {
+		return &ChecksumError{Page: id, Want: want, Got: got}
+	}
+	if echo := PageID(binary.LittleEndian.Uint32(fs.scratch[PageSize+4:])); echo != id {
+		return &BadPageError{Page: id, Reason: fmt.Sprintf("trailer names page %d (misdirected write)", echo)}
+	}
+	return nil
+}
+
+// VerifyPage implements PageVerifier: it checks the page's integrity
+// trailer without returning contents and without charging the read to
+// Stats, so scrubbing stays invisible to I/O-cost experiments. On v1
+// files there is nothing to verify and it returns nil.
+func (fs *FileStore) VerifyPage(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkRange(id); err != nil {
+		return err
+	}
+	return fs.verifyLocked(id)
+}
+
+// CorruptPayload implements Corrupter: flips one payload bit on disk
+// WITHOUT resealing the trailer, modelling silent media corruption. On a
+// v2 file the next Read of the page returns a *ChecksumError; on v1 the
+// flip is undetectable.
+func (fs *FileStore) CorruptPayload(id PageID, bit int) error {
+	if bit < 0 || bit >= PageSize*8 {
+		return fmt.Errorf("pagefile: corrupt bit %d out of range", bit)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkRange(id); err != nil {
+		return err
+	}
+	var b [1]byte
+	off := fs.off(id) + int64(bit/8)
+	if _, err := fs.f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err := fs.f.WriteAt(b[:], off)
+	return err
+}
+
+// WriteTorn implements TornWriter: persists only the first n bytes of
+// buf, leaving the page tail AND the trailer at their previous contents —
+// a torn write. On a v2 file the stale trailer no longer covers the mixed
+// payload, so the tear is detected on the next Read.
+func (fs *FileStore) WriteTorn(id PageID, buf []byte, n int) error {
+	if len(buf) != PageSize {
+		return ErrBadLength
+	}
+	if n < 0 || n > PageSize {
+		return fmt.Errorf("pagefile: torn length %d out of range", n)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.checkRange(id); err != nil {
+		return err
+	}
+	fs.stats.Writes.Add(1)
+	_, err := fs.f.WriteAt(buf[:n], fs.off(id))
+	return err
 }
 
 // SweepLeaked returns every page that is neither in `reachable` nor on the
@@ -181,30 +385,37 @@ func (fs *FileStore) Free(id PageID) error {
 // metadata). Each leaked page is linked into the free list before the
 // header is rewritten, so a crash mid-sweep at worst leaves some leaks for
 // the next sweep — never a corrupt list.
+//
+// Free-list link pages are read without checksum verification: a page
+// torn while being freed would otherwise wedge recovery, and the link
+// threading is validated structurally (cycle and range checks) anyway.
 func (fs *FileStore) SweepLeaked(reachable map[PageID]bool) ([]PageID, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	onFree := make(map[PageID]bool)
-	buf := make([]byte, PageSize)
+	var link [4]byte
 	for id := fs.freeHead; id != InvalidPage; {
 		if onFree[id] || id == 0 || int(id) >= fs.numPages {
 			return nil, fmt.Errorf("pagefile: corrupt free list at page %d", id)
 		}
 		onFree[id] = true
-		if _, err := fs.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		if _, err := fs.f.ReadAt(link[:], fs.off(id)); err != nil {
 			return nil, err
 		}
-		id = PageID(binary.LittleEndian.Uint32(buf[0:]))
+		id = PageID(binary.LittleEndian.Uint32(link[:]))
 	}
 	var leaked []PageID
+	page := make([]byte, PageSize)
 	for p := 1; p < fs.numPages; p++ {
 		id := PageID(p)
 		if reachable[id] || onFree[id] {
 			continue
 		}
-		link := make([]byte, PageSize)
-		binary.LittleEndian.PutUint32(link[0:], uint32(fs.freeHead))
-		if _, err := fs.f.WriteAt(link, int64(id)*PageSize); err != nil {
+		for i := range page {
+			page[i] = 0
+		}
+		binary.LittleEndian.PutUint32(page[0:], uint32(fs.freeHead))
+		if err := fs.writePageLocked(id, page); err != nil {
 			return leaked, err
 		}
 		fs.freeHead = id
@@ -225,3 +436,43 @@ func (fs *FileStore) NumPages() int {
 }
 
 func (fs *FileStore) Stats() *Stats { return &fs.stats }
+
+// MigrateFileStore copies the v1 (or v2) page file at srcPath into a new
+// v2 checksummed file at dstPath, preserving page IDs, the free list and
+// allocator state, and sealing a fresh trailer on every page. Reading a
+// corrupt v2 source page fails the migration (corruption must not be
+// laundered into a freshly-sealed trailer). The source is opened
+// read-write but not modified; dstPath is truncated.
+func MigrateFileStore(srcPath, dstPath string) error {
+	src, err := OpenFileStore(srcPath)
+	if err != nil {
+		return fmt.Errorf("pagefile: migrate: opening source: %w", err)
+	}
+	defer src.f.Close()
+	dst, err := createFileStore(dstPath, fileVersionV2)
+	if err != nil {
+		return fmt.Errorf("pagefile: migrate: creating destination: %w", err)
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	dst.numPages = src.numPages
+	dst.freeHead = src.freeHead
+	dst.liveN = src.liveN
+	buf := make([]byte, PageSize)
+	for p := 1; p < src.numPages; p++ {
+		id := PageID(p)
+		if err := src.readPageLocked(id, buf); err != nil {
+			dst.f.Close()
+			return fmt.Errorf("pagefile: migrate: reading page %d: %w", id, err)
+		}
+		if err := dst.writePageLocked(id, buf); err != nil {
+			dst.f.Close()
+			return fmt.Errorf("pagefile: migrate: writing page %d: %w", id, err)
+		}
+	}
+	if err := dst.writeHeader(); err != nil {
+		dst.f.Close()
+		return fmt.Errorf("pagefile: migrate: writing header: %w", err)
+	}
+	return dst.f.Close()
+}

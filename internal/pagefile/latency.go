@@ -60,3 +60,13 @@ func (ls *LatencyStore) Free(id PageID) error { return ls.Inner.Free(id) }
 func (ls *LatencyStore) NumPages() int { return ls.Inner.NumPages() }
 
 func (ls *LatencyStore) Stats() *Stats { return ls.Inner.Stats() }
+
+// VerifyPage forwards the scrubber's integrity probe without the
+// simulated transfer delay: verification reads the trailer off the hot
+// path and is not part of the modelled query I/O.
+func (ls *LatencyStore) VerifyPage(id PageID) error {
+	if v, ok := ls.Inner.(PageVerifier); ok {
+		return v.VerifyPage(id)
+	}
+	return nil
+}

@@ -36,6 +36,12 @@ type Stats struct {
 	Writes atomic.Int64
 	Allocs atomic.Int64
 	Frees  atomic.Int64
+	// Retries counts transient-fault retries performed by a RetryStore
+	// layered above this store. It lives here (rather than only on the
+	// wrapper) so every consumer that already holds the base store's
+	// Stats — experiment harnesses, QueryStats deltas — sees retry
+	// traffic without plumbing a new accessor through the stack.
+	Retries atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -49,6 +55,7 @@ func (s *Stats) Reset() {
 	s.Writes.Store(0)
 	s.Allocs.Store(0)
 	s.Frees.Store(0)
+	s.Retries.Store(0)
 }
 
 // Store is the page-granularity storage abstraction.
@@ -159,6 +166,49 @@ func (m *MemStore) NumPages() int {
 }
 
 func (m *MemStore) Stats() *Stats { return &m.stats }
+
+// VerifyPage implements PageVerifier: memory has no checksum trailer, so a
+// live in-range page verifies trivially.
+func (m *MemStore) VerifyPage(id PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.check(id)
+}
+
+// CorruptPayload implements Corrupter: flips one bit of the page in place.
+// With no trailer the flip is undetectable by Read — detection tests must
+// use FileStore.
+func (m *MemStore) CorruptPayload(id PageID, bit int) error {
+	if bit < 0 || bit >= PageSize*8 {
+		return fmt.Errorf("pagefile: corrupt bit %d out of range", bit)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(id); err != nil {
+		return err
+	}
+	m.pages[id][bit/8] ^= 1 << (bit % 8)
+	return nil
+}
+
+// WriteTorn implements TornWriter: persists only the first n bytes of buf,
+// leaving the page tail at its previous contents.
+func (m *MemStore) WriteTorn(id PageID, buf []byte, n int) error {
+	if len(buf) != PageSize {
+		return ErrBadLength
+	}
+	if n < 0 || n > PageSize {
+		return fmt.Errorf("pagefile: torn length %d out of range", n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check(id); err != nil {
+		return err
+	}
+	m.stats.Writes.Add(1)
+	copy(m.pages[id][:n], buf[:n])
+	return nil
+}
 
 // SizeBytes reports the total allocated page bytes — the "size comparison"
 // number of Table 1.

@@ -606,3 +606,12 @@ func (v *VersionedStore) GCInfo() GCInfo {
 
 func (v *VersionedStore) NumPages() int { return v.inner.NumPages() }
 func (v *VersionedStore) Stats() *Stats { return v.inner.Stats() }
+
+// VerifyPage forwards the scrubber's integrity probe down the stack; no
+// versioning state applies to a read-only trailer check.
+func (v *VersionedStore) VerifyPage(id PageID) error {
+	if pv, ok := v.inner.(PageVerifier); ok {
+		return pv.VerifyPage(id)
+	}
+	return nil
+}

@@ -222,6 +222,8 @@ func (c *ConcurrentTree) CheckInvariants() error {
 // Close stops the group-deadline timer, commits final state (sealing any
 // open group) and closes the underlying tree (writer lock). A commit
 // failure stashed by the timer surfaces here if no Flush saw it first.
+// Idempotent: the timer stops on the first call whatever the commit
+// outcome, and repeated calls return nil.
 func (c *ConcurrentTree) Close() error {
 	c.stopGroupTimer()
 	c.mu.Lock()
@@ -231,6 +233,18 @@ func (c *ConcurrentTree) Close() error {
 		err = terr
 	}
 	return err
+}
+
+// Discard releases the index WITHOUT committing — the crash-simulation
+// exit and the cleanup path after a storage failure (see Tree.Discard).
+// Stops the group-deadline timer like Close; idempotent and safe after
+// Close (and vice versa).
+func (c *ConcurrentTree) Discard() error {
+	c.stopGroupTimer()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tickErr = nil
+	return c.tree.Discard()
 }
 
 // Snapshot is a pinned, immutable view of one committed epoch of a

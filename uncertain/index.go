@@ -40,6 +40,11 @@ type Index interface {
 	// tombstones, lifetime reclaim counters, and whether the background
 	// reclaimer runs (merged over shards for sharded indexes).
 	GCInfo() GCInfo
+	// Health reports storage health: quarantined (corrupt) pages,
+	// cumulative transient-fault retries, and background-scrubber progress
+	// (merged over shards for sharded indexes). All zeroes on a healthy
+	// index.
+	Health() HealthInfo
 	// Search answers a probabilistic range query: objects appearing in rect
 	// with probability ≥ prob. A cancelled or deadline-exceeded ctx stops
 	// the traversal promptly with ctx.Err() and the partial results found

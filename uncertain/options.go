@@ -77,6 +77,18 @@ func WithLimit(n int) QueryOption {
 	return func(p *queryPlan) { p.o.Limit = n }
 }
 
+// WithAllowDegraded opts a sharded query into degraded partial answers:
+// when some (not all) shards fail with a storage error — a corrupt page, a
+// fault that outlasted the retry budget — the healthy shards' results are
+// returned together with ErrDegraded (a *DegradedError naming the failed
+// shards) instead of failing the whole query. Every returned object truly
+// qualifies; the set may be incomplete. If every shard fails, the query
+// fails outright as before. Single-tree indexes ignore the option — with
+// one store there is no healthy remainder to serve.
+func WithAllowDegraded(on bool) QueryOption {
+	return func(p *queryPlan) { p.o.AllowDegraded = on }
+}
+
 // WithPageBudget bounds the physical page fetches (buffer-pool misses plus
 // data-page reads) this query may perform; when the budget runs out the
 // query returns ErrBudgetExceeded together with the partial results and

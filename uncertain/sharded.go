@@ -204,13 +204,17 @@ func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
 // found are merged and returned together with ctx.Err() — the same
 // partial-result contract as a single tree. The first real shard error
 // cancels the sibling shards instead of letting them run to completion
-// and returns nothing. Per-shard page-budget exhaustion is likewise not
-// fatal to the fan-out — the shards' answers are merged and returned with
+// and returns nothing — unless the query opted into degraded mode with
+// WithAllowDegraded, in which case the healthy shards run to completion
+// and the merged answer returns with ErrDegraded (fatal only when every
+// shard failed). Per-shard page-budget exhaustion is likewise not fatal to
+// the fan-out — the shards' answers are merged and returned with
 // ErrBudgetExceeded.
 func (s *ShardedTree) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	plan := resolveOptions(opts)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	partRes := make([][]Result, len(s.shards))
@@ -222,13 +226,13 @@ func (s *ShardedTree) Search(ctx context.Context, rect Rect, prob float64, opts 
 		go func(i int) {
 			defer wg.Done()
 			partRes[i], partStats[i], errs[i] = s.shards[i].Search(sctx, rect, prob, opts...)
-			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) {
+			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) && !plan.AllowDegraded {
 				cancel() // first real failure stops the sibling shards
 			}
 		}(i)
 	}
 	wg.Wait()
-	softErr, err := s.gatherError(ctx, errs)
+	softErr, err := s.gatherError(ctx, errs, plan.AllowDegraded)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -239,8 +243,8 @@ func (s *ShardedTree) Search(ctx context.Context, rect Rect, prob float64, opts 
 		stats.Add(partStats[i])
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
-	if p := resolveOptions(opts); p.Limit > 0 && len(out) > p.Limit {
-		out = out[:p.Limit]
+	if plan.Limit > 0 && len(out) > plan.Limit {
+		out = out[:plan.Limit]
 	}
 	return out, stats, softErr
 }
@@ -254,6 +258,7 @@ func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	plan := resolveOptions(opts)
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	partRes := make([][]Neighbor, len(s.shards))
@@ -265,13 +270,13 @@ func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts
 		go func(i int) {
 			defer wg.Done()
 			partRes[i], partStats[i], errs[i] = s.shards[i].NearestNeighbors(sctx, q, k, opts...)
-			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) {
+			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) && !plan.AllowDegraded {
 				cancel()
 			}
 		}(i)
 	}
 	wg.Wait()
-	softErr, err := s.gatherError(ctx, errs)
+	softErr, err := s.gatherError(ctx, errs, plan.AllowDegraded)
 	if err != nil {
 		return nil, NNStats{}, err
 	}
@@ -287,8 +292,8 @@ func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts
 		}
 		return merged[a].ID < merged[b].ID // deterministic tie-break
 	})
-	if p := resolveOptions(opts); p.Limit > 0 && p.Limit < k {
-		k = p.Limit
+	if plan.Limit > 0 && plan.Limit < k {
+		k = plan.Limit
 	}
 	if len(merged) > k {
 		merged = merged[:k]
@@ -305,8 +310,16 @@ func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts
 // DeadlineExceeded, and a real shard error wins over the context errors
 // its cancel() induced on the sibling shards; cancellation wins over
 // budget exhaustion.
-func (s *ShardedTree) gatherError(ctx context.Context, errs []error) (soft, fatal error) {
+//
+// With allowDegraded (WithAllowDegraded), real shard failures become soft
+// too — the merged answer carries a *DegradedError naming the failed
+// shards — unless EVERY shard failed, which stays fatal: there is no
+// healthy remainder to serve. The caller's own cancellation still wins
+// over degraded reporting.
+func (s *ShardedTree) gatherError(ctx context.Context, errs []error, allowDegraded bool) (soft, fatal error) {
 	var budgetErr, ctxErr error
+	var failed []int
+	var failedErrs []error
 	for i, err := range errs {
 		switch {
 		case err == nil:
@@ -319,14 +332,26 @@ func (s *ShardedTree) gatherError(ctx context.Context, errs []error) (soft, fata
 				ctxErr = err
 			}
 		default:
-			return nil, fmt.Errorf("uncertain: shard %d: %w", i, err)
+			if !allowDegraded {
+				return nil, fmt.Errorf("uncertain: shard %d: %w", i, err)
+			}
+			failed = append(failed, i)
+			failedErrs = append(failedErrs, err)
 		}
+	}
+	if len(failed) == len(s.shards) && len(s.shards) > 0 {
+		// Degraded mode cannot help when no shard answered.
+		return nil, fmt.Errorf("uncertain: all %d shards failed; first: shard %d: %w",
+			len(s.shards), failed[0], failedErrs[0])
 	}
 	if ctxErr != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr, nil // the caller's context, not a sibling-induced cancel
 		}
 		return ctxErr, nil
+	}
+	if len(failed) > 0 {
+		return &DegradedError{Shards: failed, Errs: failedErrs}, nil
 	}
 	return budgetErr, nil
 }
@@ -400,11 +425,21 @@ func (s *ShardedTree) CheckInvariants() error {
 }
 
 // Close closes every shard; every shard is closed even if one fails, and
-// the first error is returned.
+// the first error is returned. Idempotent (each shard's Close is).
 func (s *ShardedTree) Close() error {
 	errs := make([]error, len(s.shards))
 	for i, sh := range s.shards {
 		errs[i] = sh.Close()
+	}
+	return s.firstError(errs)
+}
+
+// Discard releases every shard without committing (see Tree.Discard);
+// idempotent and safe after Close.
+func (s *ShardedTree) Discard() error {
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		errs[i] = sh.Discard()
 	}
 	return s.firstError(errs)
 }

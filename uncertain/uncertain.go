@@ -169,6 +169,26 @@ type Config struct {
 	// read-modify-writes + page frees) one reclaimer tick may perform
 	// (0 → pagefile.DefaultReclaimBudget). Ignored without ReclaimInterval.
 	ReclaimPageBudget int
+	// RetryAttempts bounds the storage stack's transient-fault retry loop:
+	// the total attempts per page operation, including the first. 0 selects
+	// the default (3); negative disables retrying entirely. Retries are
+	// per-operation storage events, not logical I/O — a read that needed
+	// three attempts is still one buffer-pool miss and one page-budget
+	// charge. The traffic is observable in query Stats.Retries and
+	// Health().Retries.
+	RetryAttempts int
+	// RetryBaseDelay / RetryMaxDelay shape the jittered exponential backoff
+	// between retry attempts (0 → 100µs base, 10ms cap).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// ScrubInterval > 0 starts the background page scrubber: a goroutine
+	// periodically walks the committed tree verifying page checksums (up to
+	// ScrubPageBudget pages per tick), quarantining latent corruption
+	// before any query trips over it. Progress appears in Health().
+	ScrubInterval time.Duration
+	// ScrubPageBudget bounds the verifications one scrub tick performs
+	// (0 → core default). Ignored without ScrubInterval.
+	ScrubPageBudget int
 }
 
 // Tree is a dynamic index over uncertain objects supporting probabilistic
@@ -178,7 +198,9 @@ type Tree struct {
 	file    *pagefile.FileStore
 	meta    pagefile.PageID
 	latency *pagefile.LatencyStore // always interposed by NewTree/OpenTree
+	retry   *pagefile.RetryStore   // nil when Config.RetryAttempts < 0
 	pdfs    map[int64]Rect         // id → region MBR, to make Delete(id) ergonomic
+	closed  bool                   // set by Close/Discard; makes both idempotent
 
 	// Group-commit state (see Config.GroupCommitOps and batch.go). undo
 	// records the pdfs-map mutations of the open group so a rollback can
@@ -204,6 +226,8 @@ func NewTree(cfg Config) (*Tree, error) {
 		PrefetchWorkers:  cfg.PrefetchWorkers,
 		ReclaimInterval:  cfg.ReclaimInterval,
 		ReclaimBudget:    cfg.ReclaimPageBudget,
+		ScrubInterval:    cfg.ScrubInterval,
+		ScrubBudget:      cfg.ScrubPageBudget,
 	}
 	if cfg.UPCR {
 		opt.Kind = core.UPCR
@@ -236,7 +260,7 @@ func NewTree(cfg Config) (*Tree, error) {
 		base = cfg.WrapStore(base)
 	}
 	t.latency = pagefile.NewLatencyStore(base, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
-	opt.Store = t.latency
+	opt.Store = t.buildRetry(cfg)
 	inner, err := core.New(opt)
 	if err != nil {
 		if t.file != nil {
@@ -253,6 +277,24 @@ func NewTree(cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// buildRetry tops the store stack with the transient-fault retry layer —
+// above the simulated-latency store (each retry attempt is a fresh I/O and
+// pays the modeled latency again) and below the versioning and buffer-pool
+// layers (a retried read stays one pool miss and one page-budget charge).
+// Enabled by default; Config.RetryAttempts < 0 disables it.
+func (t *Tree) buildRetry(cfg Config) pagefile.Store {
+	if cfg.RetryAttempts < 0 {
+		return t.latency
+	}
+	t.retry = pagefile.NewRetryStore(t.latency, pagefile.RetryPolicy{
+		MaxAttempts: cfg.RetryAttempts,
+		BaseDelay:   cfg.RetryBaseDelay,
+		MaxDelay:    cfg.RetryMaxDelay,
+		Seed:        cfg.Seed,
+	})
+	return t.retry
 }
 
 // commit seals the open mutations as a new epoch — through the metadata
@@ -414,14 +456,23 @@ func (t *Tree) NodeCacheStats() (hits, misses int64) { return t.inner.NodeCacheS
 // CheckInvariants validates the index structure (for tests and tooling).
 func (t *Tree) CheckInvariants() error { return t.inner.CheckInvariants() }
 
-// Close stops the background reclaimer, commits any final state — sealing
-// an open commit group — drains the last retired pages, and, for
-// file-backed trees, closes the file. Without grouping every mutation
-// already committed durably, so Close adds nothing a crash would lose;
-// under group commit the open group's tail becomes durable here. Close is
-// also the last chance to surface a reclaim failure stashed by an earlier
-// commit (such a failure leaked pages; it never corrupted data).
+// Close stops the background reclaimer and scrubber, commits any final
+// state — sealing an open commit group — drains the last retired pages,
+// and, for file-backed trees, closes the file. Without grouping every
+// mutation already committed durably, so Close adds nothing a crash would
+// lose; under group commit the open group's tail becomes durable here.
+// Close is also the last chance to surface a reclaim failure stashed by an
+// earlier commit (such a failure leaked pages; it never corrupted data).
+//
+// Close is idempotent, and remains safe after a failed commit or after
+// Discard: repeated calls return nil without touching the (already
+// released) storage again.
 func (t *Tree) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.unblockRetries()
 	t.inner.StopBackgroundReclaim()
 	err := t.commit()
 	t.groupOps, t.undo = 0, t.undo[:0]
@@ -436,14 +487,30 @@ func (t *Tree) Close() error {
 	return err
 }
 
+// unblockRetries binds a cancelled context to the retry layer so no
+// concurrent reader sits out a backoff sleep while the index tears down.
+func (t *Tree) unblockRetries() {
+	if t.retry == nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t.retry.BindContext(ctx)
+}
+
 // Discard releases a file-backed tree WITHOUT committing or flushing —
 // the crash-simulation exit (and the cleanup path for a handle whose
 // storage already failed): the file keeps exactly the pages that were
 // durable when the last operation stopped, as if the process died there.
 // OpenTree then recovers the last committed epoch — under group commit,
 // the last committed group boundary. In-memory trees just drop their
-// state.
+// state. Discard is idempotent and safe after Close (and vice versa).
 func (t *Tree) Discard() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.unblockRetries()
 	t.inner.StopBackgroundReclaim()
 	if t.file == nil {
 		return nil
@@ -468,7 +535,7 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 		base = cfg.WrapStore(base)
 	}
 	t.latency = pagefile.NewLatencyStore(base, cfg.SimulatedPageLatency, cfg.SimulatedPageLatency)
-	inner, err := core.Open(t.latency, 1, core.Options{
+	inner, err := core.Open(t.buildRetry(cfg), 1, core.Options{
 		MCSamples:        cfg.MonteCarloSamples,
 		ExactRefinement:  cfg.ExactRefinement,
 		Seed:             cfg.Seed,
@@ -477,6 +544,8 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 		PrefetchWorkers:  cfg.PrefetchWorkers,
 		ReclaimInterval:  cfg.ReclaimInterval,
 		ReclaimBudget:    cfg.ReclaimPageBudget,
+		ScrubInterval:    cfg.ScrubInterval,
+		ScrubBudget:      cfg.ScrubPageBudget,
 	})
 	if err != nil {
 		fs.Close()
