@@ -1,0 +1,88 @@
+// Command ulint runs the project's invariant-checker suite — the five
+// analyzers in internal/analysis — over the packages matched by its
+// arguments (default ./...). It prints one line per finding,
+//
+//	file:line:col: message (analyzer)
+//
+// and exits nonzero when anything is flagged. Findings are suppressed
+// per line with `//ulint:ignore <analyzer> <reason>` on the flagged
+// line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ulint [-list] [packages]\n\n"+
+			"Runs the repro invariant-checker suite over the matched packages\n"+
+			"(default ./...). Exits 1 when any invariant is violated.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ulint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			diags, err := framework.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ulint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				p := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					file: p.Filename, line: p.Line, col: p.Column,
+					msg: fmt.Sprintf("%s (%s)", d.Message, a.Name),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s\n", f.file, f.line, f.col, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

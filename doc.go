@@ -1,0 +1,10 @@
+// Package repro reproduces the U-tree of Tao, Cheng, Xiao, Ngai, Kao,
+// and Prabhakar ("Indexing Multi-Dimensional Uncertain Data with
+// Arbitrary Probability Density Functions", VLDB 2005): a disk-based
+// index over uncertain objects that answers probability-threshold range
+// queries via probabilistically constrained regions (PCRs).
+//
+// The root package holds only cross-cutting benchmarks; the
+// implementation lives in uncertain (public API), internal/core (the
+// tree), internal/pagefile (the page store), and their siblings.
+package repro

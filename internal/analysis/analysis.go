@@ -1,0 +1,26 @@
+// Package analysis registers the ulint analyzer suite: five
+// project-specific invariant checkers that mechanically enforce the
+// disciplines this codebase accumulated PR by PR — copy-on-write page
+// immutability (PR 5), scratch pooling (PR 7), context plumbing (PR 4),
+// typed errors (PR 8), and query-path determinism (PR 1).
+package analysis
+
+import (
+	"repro/internal/analysis/cowwrite"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/detquery"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/poolescape"
+	"repro/internal/analysis/typederr"
+)
+
+// All returns every ulint analyzer in stable (alphabetical) order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		cowwrite.Analyzer,
+		ctxflow.Analyzer,
+		detquery.Analyzer,
+		poolescape.Analyzer,
+		typederr.Analyzer,
+	}
+}

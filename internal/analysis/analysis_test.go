@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// TestRepoBaseline runs the full ulint suite over the whole repository
+// and requires zero diagnostics: every invariant violation is either
+// fixed or carries an explicit //ulint:ignore waiver with a reason.
+// This is the same gate CI runs as `go run ./cmd/ulint ./...`.
+func TestRepoBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline sweep rebuilds export data for the whole module; skipped in -short")
+	}
+	pkgs, err := framework.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			diags, err := framework.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+}
+
+// TestAllStable pins the suite roster: names must be unique, sorted,
+// and documented.
+func TestAllStable(t *testing.T) {
+	as := All()
+	if len(as) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(as))
+	}
+	for i, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %d is missing name, doc, or run", i)
+		}
+		if i > 0 && as[i-1].Name >= a.Name {
+			t.Errorf("analyzers out of order: %s before %s", as[i-1].Name, a.Name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package cowwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/cowwrite"
+	"repro/internal/analysis/framework"
+)
+
+func TestCowwrite(t *testing.T) {
+	framework.RunFixture(t, cowwrite.Analyzer, "testdata/cowwrite")
+}

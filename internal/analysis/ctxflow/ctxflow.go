@@ -1,0 +1,261 @@
+// Package ctxflow enforces the cancellation-plumbing discipline from
+// the PR 4 context-first redesign: once a query or maintenance path accepts a
+// context.Context it must actually thread it — calling the ctx-less
+// sibling of a *Ctx API, or ignoring the parameter entirely, silently
+// severs cancellation for every caller above. It also bans fresh
+// context.Background()/context.TODO() roots in library code: a library
+// that mints its own root context cannot be cancelled from outside.
+//
+// Three rules:
+//
+//  1. context.Background()/context.TODO() is flagged in library
+//     packages, except inside the canonical nil-guard
+//     `if ctx == nil { ctx = context.Background() }` (the documented
+//     compatibility shim for legacy callers).
+//  2. Inside a function that has a context.Context parameter, a call to
+//     F(...) without a ctx argument is flagged when an FCtx sibling
+//     (same package for functions, same method set for methods) exists.
+//  3. A named, non-underscore context.Context parameter that the body
+//     never reads is flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags broken context propagation on the query path.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/TODO() in library code, calls to ctx-less " +
+		"siblings of *Ctx APIs from ctx-bearing functions, and ignored " +
+		"context parameters",
+	Run: run,
+}
+
+// exemptPrefixes carves out binaries, examples, and the experiment
+// harness: these are program roots, where minting context.Background()
+// is exactly right.
+var exemptPrefixes = []string{
+	"repro/cmd/",
+	"repro/examples/",
+	"repro/internal/experiments",
+}
+
+func run(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	if path == "repro" {
+		return nil
+	}
+	if strings.HasPrefix(path, "repro/") {
+		for _, p := range exemptPrefixes {
+			if strings.HasPrefix(path, p) {
+				return nil
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRoots(pass, fd)
+			if ctxParam := contextParam(pass, fd); ctxParam != nil {
+				checkSiblings(pass, fd)
+				checkUnused(pass, fd, ctxParam)
+			}
+		}
+	}
+	return nil
+}
+
+// checkRoots flags context.Background()/TODO() outside the nil-guard.
+func checkRoots(pass *framework.Pass, fd *ast.FuncDecl) {
+	guarded := nilGuardCalls(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || guarded[call] {
+			return true
+		}
+		name := contextRootCall(pass, call)
+		if name == "" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() in library code (%s): minting a root context here severs caller cancellation; accept a ctx or add the nil-guard shim",
+			name, fd.Name.Name)
+		return true
+	})
+}
+
+// nilGuardCalls collects the context.Background()/TODO() calls that
+// appear as `ctx = context.Background()` inside an `if ctx == nil`
+// block — the one blessed construction.
+func nilGuardCalls(pass *framework.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	guarded := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !isNilCheck(pass, ifs.Cond) {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && contextRootCall(pass, call) != "" {
+				guarded[call] = true
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// isNilCheck matches `x == nil` / `nil == x` where x is a
+// context.Context.
+func isNilCheck(pass *framework.Pass, cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return false
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(y) {
+		return isContextType(pass.TypeOf(x))
+	}
+	if isNilIdent(x) {
+		return isContextType(pass.TypeOf(y))
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// contextRootCall returns "Background" or "TODO" when call is
+// context.Background() or context.TODO(), else "".
+func contextRootCall(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "context" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// contextParam returns the first context.Context parameter object of fd,
+// or nil when fd takes none.
+func contextParam(pass *framework.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypeOf(field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return nil // anonymous ctx: explicitly discarded
+		}
+		return pass.ObjectOf(field.Names[0])
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkSiblings flags calls that drop the context when a *Ctx sibling
+// of the callee exists.
+func checkSiblings(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || callPassesContext(pass, call) {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(fun)
+			f, ok := obj.(*types.Func)
+			if !ok || strings.HasSuffix(f.Name(), "Ctx") {
+				return true
+			}
+			if f.Pkg() != nil && f.Pkg().Scope().Lookup(f.Name()+"Ctx") != nil {
+				pass.Reportf(call.Pos(),
+					"%s drops the context in %s: a %sCtx variant exists; call it with the ctx in hand",
+					f.Name(), fd.Name.Name, f.Name())
+			}
+		case *ast.SelectorExpr:
+			selInfo := pass.TypesInfo.Selections[fun]
+			if selInfo == nil || strings.HasSuffix(fun.Sel.Name, "Ctx") {
+				return true
+			}
+			recv := selInfo.Recv()
+			sib, _, _ := types.LookupFieldOrMethod(recv, true, pass.Pkg, fun.Sel.Name+"Ctx")
+			if _, ok := sib.(*types.Func); ok {
+				pass.Reportf(call.Pos(),
+					"%s.%s drops the context in %s: a %sCtx variant exists; call it with the ctx in hand",
+					typeName(recv), fun.Sel.Name, fd.Name.Name, fun.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// callPassesContext reports whether any argument of call has context
+// type — if so, the caller is threading a ctx and rule 2 is satisfied.
+func callPassesContext(pass *framework.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkUnused flags a named ctx parameter the body never mentions.
+func checkUnused(pass *framework.Pass, fd *ast.FuncDecl, ctxParam types.Object) {
+	if ctxParam.Name() == "_" {
+		return
+	}
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == ctxParam {
+			used = true
+			return false
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(ctxParam.Pos(),
+			"context parameter %s is never used in %s: either thread it into the calls below or rename it _ to document the drop",
+			ctxParam.Name(), fd.Name.Name)
+	}
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/framework"
+)
+
+func TestCtxflow(t *testing.T) {
+	framework.RunFixture(t, ctxflow.Analyzer, "testdata/ctxflow")
+}

@@ -1,0 +1,72 @@
+// Package ctxfix exercises the ctxflow analyzer: contexts must be
+// threaded, not dropped or re-minted.
+package ctxfix
+
+import "context"
+
+type store struct{}
+
+// Read is the legacy ctx-less accessor.
+func (s *store) Read(id uint32) error { return nil }
+
+// ReadCtx is its cancellable sibling.
+func (s *store) ReadCtx(_ context.Context, id uint32) error { return nil }
+
+func fetch(id uint32) error { return nil }
+
+func fetchCtx(_ context.Context, id uint32) error { return nil }
+
+// search has a ctx in hand but calls the ctx-less method anyway.
+func search(ctx context.Context, s *store) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return s.Read(7) // want `store\.Read drops the context in search: a ReadCtx variant exists`
+}
+
+// drive drops the ctx on the package-level function call.
+func drive(ctx context.Context, s *store) error {
+	if err := fetchCtx(ctx, 2); err != nil {
+		return err
+	}
+	return fetch(3) // want `fetch drops the context in drive: a fetchCtx variant exists`
+}
+
+// threaded is the compliant counterpart of search.
+func threaded(ctx context.Context, s *store) error {
+	return s.ReadCtx(ctx, 7)
+}
+
+// ignored takes a ctx and never reads it: cancellation silently dies here.
+func ignored(ctx context.Context) error { // want `context parameter ctx is never used in ignored`
+	return nil
+}
+
+// discarded documents the drop with the blank identifier: not flagged.
+func discarded(_ context.Context) error { return nil }
+
+// openSession mints a root context in library code.
+func openSession(s *store) error {
+	ctx := context.Background() // want `context\.Background\(\) in library code \(openSession\)`
+	return s.ReadCtx(ctx, 1)
+}
+
+// todoSession does the same with TODO.
+func todoSession(s *store) error {
+	return s.ReadCtx(context.TODO(), 1) // want `context\.TODO\(\) in library code \(todoSession\)`
+}
+
+// compat is the one blessed Background: the nil-guard shim for legacy
+// callers.
+func compat(ctx context.Context, s *store) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.ReadCtx(ctx, 1)
+}
+
+// legacy shows the waiver for a documented non-cancellable entry point.
+func legacy(s *store) error {
+	//ulint:ignore ctxflow fixture exercises the waiver path
+	return s.ReadCtx(context.Background(), 1)
+}

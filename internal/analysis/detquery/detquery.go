@@ -1,0 +1,99 @@
+// Package detquery enforces query-path determinism: range, NN, and scan
+// results must be reproducible run-to-run given the same tree and the
+// same query seed, because the probability-threshold tests and the
+// cross-backend equivalence harness compare exact result sets. Wall
+// clocks, the globally-seeded math/rand functions, and Go's randomized
+// map iteration order all smuggle nondeterminism into that path.
+//
+// Seeded generators are the sanctioned alternative and stay legal:
+// rand.New(rand.NewSource(seed)) pins the MC sampling sequence.
+package detquery
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags nondeterminism on the deterministic query path.
+var Analyzer = &framework.Analyzer{
+	Name: "detquery",
+	Doc: "flag time.Now, globally-seeded math/rand calls, and map iteration " +
+		"in deterministic query-path files (core query/NN/scan)",
+	Run: run,
+}
+
+// queryFiles are the deterministic query-path files inside
+// repro/internal/core. Fixture packages are checked file-by-file too,
+// but every fixture file qualifies.
+var queryFiles = map[string]bool{
+	"query.go": true,
+	"nn.go":    true,
+	"scan.go":  true,
+}
+
+// seededCtors are the math/rand functions that construct or feed seeded
+// generators rather than consuming global state.
+var seededCtors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *framework.Pass) error {
+	inRepro := strings.HasPrefix(pass.Pkg.Path(), "repro/")
+	if inRepro && pass.Pkg.Path() != "repro/internal/core" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if inRepro && !queryFiles[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"map iteration on the deterministic query path: Go randomizes range order; sort the keys or use a slice")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now on the deterministic query path: results must not depend on the wall clock")
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededCtors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"globally-seeded rand.%s on the deterministic query path: use the pooled seeded generator (getSeededRand) instead",
+				sel.Sel.Name)
+		}
+	}
+}

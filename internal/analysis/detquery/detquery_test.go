@@ -1,0 +1,12 @@
+package detquery_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detquery"
+	"repro/internal/analysis/framework"
+)
+
+func TestDetquery(t *testing.T) {
+	framework.RunFixture(t, detquery.Analyzer, "testdata/detquery")
+}

@@ -1,0 +1,56 @@
+// Package detfix exercises the detquery analyzer: the query path must
+// not read wall clocks, global rand state, or map iteration order.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type tree struct {
+	pages map[uint32][]byte
+}
+
+// scanPages iterates a map directly: result order is randomized per run.
+func (t *tree) scanPages() int {
+	n := 0
+	for range t.pages { // want `map iteration on the deterministic query path`
+		n++
+	}
+	return n
+}
+
+// sortedScan re-establishes a deterministic order; the waiver documents
+// why the raw iteration underneath is safe.
+func (t *tree) sortedScan() []uint32 {
+	keys := make([]uint32, 0, len(t.pages))
+	//ulint:ignore detquery order is re-established by the sort below
+	for id := range t.pages {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+// sample draws from the globally seeded generator: unreproducible.
+func sample() float64 {
+	return rand.Float64() // want `globally-seeded rand\.Float64 on the deterministic query path`
+}
+
+// seededSample pins the sequence: New/NewSource are sanctioned ctors,
+// and methods on the resulting *rand.Rand are not package-level calls.
+func seededSample(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// stamp reads the wall clock into the result.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now on the deterministic query path`
+}
+
+// elapsed measures a duration for stats: time.Since is not flagged.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

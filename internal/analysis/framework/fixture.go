@@ -1,0 +1,191 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the single Go package in dir (typically a testdata
+// directory, which the go tool itself never builds), runs a over it, and
+// compares the diagnostics against the fixture's `// want` annotations —
+// the analysistest contract. An annotation attaches one or more quoted
+// regular expressions to its own line:
+//
+//	err == ErrBad // want `use errors\.Is`
+//
+// Every diagnostic must be matched by a want on its line and vice versa.
+// //ulint:ignore waivers apply before matching, so fixtures can (and do)
+// exercise the suppression mechanism: a waived line carries no want.
+//
+// Fixture packages may import anything resolvable by `go list` from the
+// test's working directory — in practice the standard library, which
+// keeps fixtures hermetic.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s (err=%v)", dir, err)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, im := range f.Imports {
+			if ip, err := strconv.Unquote(im.Path.Value); err == nil {
+				importSet[ip] = true
+			}
+		}
+	}
+
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for ip := range importSet {
+			imports = append(imports, ip)
+		}
+		sort.Strings(imports)
+		exports, _, err = goList(".", true, imports)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+	}
+
+	pkgPath := "fixture/" + files[0].Name.Name
+	pkg, err := typeCheck(fset, newExportImporter(fset, exports), pkgPath, files)
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := parseWants(t, fset, files)
+	got := map[string][]string{}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		got[key] = append(got[key], d.Message)
+	}
+
+	keys := map[string]bool{}
+	for k := range wants {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range keys {
+		ws, ds := wants[k], got[k]
+		if len(ws) != len(ds) {
+			t.Errorf("%s: want %d diagnostic(s) %v, got %d: %q", k, len(ws), patterns(ws), len(ds), ds)
+			continue
+		}
+		used := make([]bool, len(ds))
+	match:
+		for _, w := range ws {
+			for i, d := range ds {
+				if !used[i] && w.MatchString(d) {
+					used[i] = true
+					continue match
+				}
+			}
+			t.Errorf("%s: no diagnostic matching %q among %q", k, w, ds)
+		}
+	}
+}
+
+func patterns(ws []*regexp.Regexp) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.String()
+	}
+	return out
+}
+
+// parseWants extracts `// want "rx" ...` annotations, keyed file:line.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, lit := range splitQuoted(t, text[len("want "):], pos) {
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, lit, err)
+					}
+					wants[key] = append(wants[key], rx)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a space-separated sequence of Go string literals
+// (double- or back-quoted).
+func splitQuoted(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		var end int
+		switch s[0] {
+		case '`':
+			i := strings.Index(s[1:], "`")
+			if i < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			end = i + 2
+		case '"':
+			end = -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i + 1
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+		lit, err := strconv.Unquote(s[:end])
+		if err != nil {
+			t.Fatalf("%s: bad want literal %q: %v", pos, s[:end], err)
+		}
+		out = append(out, lit)
+		s = s[end:]
+	}
+}

@@ -1,0 +1,146 @@
+// Package framework is a self-contained reimplementation of the narrow
+// slice of golang.org/x/tools/go/analysis that the ulint analyzer suite
+// needs: an Analyzer/Pass/Diagnostic surface, a package loader built on
+// `go list -export` plus the standard library's gc export-data importer
+// (so the module keeps its zero-dependency property), and an
+// analysistest-style fixture runner driven by `// want` annotations.
+//
+// Suppression: a diagnostic is dropped when the flagged line — or the
+// line directly above it — carries a comment of the form
+//
+//	//ulint:ignore <name>[,<name>...] <reason>
+//
+// naming the analyzer (or the wildcard "all"). The reason is mandatory
+// by convention: a waiver documents why the invariant does not apply at
+// that site, exactly like a code-review exemption would.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ulint:ignore waivers.
+	Name string
+	// Doc is the one-paragraph description shown by `ulint -list`.
+	Doc string
+	// Run reports the analyzer's findings on one package via
+	// Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object denoted by id (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// RunAnalyzer runs a over pkg and returns its diagnostics with
+// //ulint:ignore waivers applied, sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ig := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !ig.ignored(pkg.Fset, d.Pos, a.Name) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// ignoreIndex maps file → line → analyzer names waived on that line.
+type ignoreIndex map[string]map[int][]string
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "ulint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "ulint:ignore"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return idx
+}
+
+// ignored reports whether a waiver on the diagnostic's line, or on the
+// line directly above it, names the analyzer.
+func (idx ignoreIndex) ignored(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	lines := idx[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

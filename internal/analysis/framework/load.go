@@ -1,0 +1,147 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *listErr
+}
+
+type listErr struct{ Err string }
+
+// Load resolves patterns with the go command and type-checks every
+// matched package from source, resolving imports (standard library and
+// intra-module alike) through the gc export data that `go list -export`
+// produces into the build cache. Only non-test Go files are analyzed:
+// the ulint invariants govern library code, and tests legitimately poke
+// at internals (writing raw pages, comparing errors they just made).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	exports, targets, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, tp := range targets {
+		if tp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", tp.ImportPath, tp.Error.Err)
+		}
+		if len(tp.GoFiles) == 0 {
+			continue // nothing to analyze (e.g. a test-only package)
+		}
+		var files []*ast.File
+		for _, name := range tp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(tp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := typeCheck(fset, imp, tp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -e -export -json` (with -deps when deps is true)
+// and splits the result into an importPath→export-file map and the
+// directly matched (non-dependency) packages.
+func goList(dir string, deps bool, patterns []string) (map[string]string, []*listPkg, error) {
+	args := []string{"list", "-e", "-export"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	return exports, targets, nil
+}
+
+// newExportImporter returns a types.Importer that reads gc export data
+// from the files recorded in exports. All packages loaded through one
+// importer share type identities, which is what makes cross-package
+// comparisons inside a single pass sound.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+}
+
+// typeCheck runs go/types over already-parsed files.
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,283 @@
+// Package poolescape enforces the scratch-pooling discipline introduced
+// in PR 7: values handed out by the query-scratch pools (queryScratch,
+// the pooled seeded *rand.Rand, and every buffer carved out of them)
+// must never outlive the query that borrowed them. Storing pooled
+// memory in a struct field, returning it past the Put site, sending it
+// on a channel, or capturing it in a goroutine aliases one query's
+// scratch into another's — exactly the corruption the pooling tests
+// hammer for, caught here before it runs.
+//
+// The analysis is per-function and flow-insensitive: a local becomes
+// tainted when it is initialized from a pool source (getScratch,
+// getSeededRand, or a (*sync.Pool).Get) or from any reference-typed
+// expression that carries a tainted value (selectors, slices of,
+// appends onto pooled backing arrays). Passing pooled scratch DOWN into
+// a synchronous call is fine — that is the whole point of scratch.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags pooled query scratch escaping its query.
+var Analyzer = &framework.Analyzer{
+	Name: "poolescape",
+	Doc: "flag pooled query scratch (queryScratch, pooled *rand.Rand, MC " +
+		"buffers) stored in fields, returned, sent on channels, or captured " +
+		"by goroutines",
+	Run: run,
+}
+
+// poolFunnel names the pool accessors themselves, whose job is handing
+// pooled values out and back.
+var poolFunnel = map[string]bool{
+	"getScratch":    true,
+	"getSeededRand": true,
+	"putRand":       true,
+	"release":       true,
+}
+
+func run(pass *framework.Pass) error {
+	if path := pass.Pkg.Path(); strings.HasPrefix(path, "repro/") && path != "repro/internal/core" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || poolFunnel[fd.Name.Name] {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	tainted := map[types.Object]bool{}
+
+	// Fixpoint taint propagation across the function's assignments:
+	// x := getScratch();  f := append(sc.frontier[:0], root);  etc.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				var rhs ast.Expr
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				} else if len(as.Rhs) == 1 && i == 0 {
+					rhs = as.Rhs[0] // x, ok := pool.Get().(*T) style
+				} else {
+					continue
+				}
+				if carries(pass, tainted, rhs) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Sink detection.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred releases (sc.release(), putRand(r)) run on the
+			// query's own goroutine before return: the Put site itself.
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if carries(pass, tainted, res) {
+					pass.Reportf(res.Pos(),
+						"pooled scratch returned from %s: it escapes past its Put site and will alias a later query's buffers",
+						fd.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				base, indirect := storeTarget(lhs)
+				if !indirect || carries(pass, tainted, base) {
+					continue // writing into the scratch itself is fine
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				} else {
+					continue
+				}
+				if carries(pass, tainted, rhs) {
+					pass.Reportf(lhs.Pos(),
+						"pooled scratch stored in a field or container in %s: it outlives the query that borrowed it",
+						fd.Name.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if carries(pass, tainted, n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"pooled scratch sent on a channel in %s: the receiver outlives the Put site", fd.Name.Name)
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if carries(pass, tainted, arg) {
+					pass.Reportf(arg.Pos(),
+						"pooled scratch passed to a goroutine in %s: it races the pool once the query releases it", fd.Name.Name)
+				}
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if ok && tainted[pass.ObjectOf(id)] {
+						pass.Reportf(n.Pos(),
+							"pooled scratch captured by a goroutine in %s: it races the pool once the query releases it", fd.Name.Name)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// storeTarget decomposes an assignment target: x.f and m[k] store into a
+// longer-lived structure rooted at base.
+func storeTarget(lhs ast.Expr) (base ast.Expr, indirect bool) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		return lhs.X, true
+	case *ast.IndexExpr:
+		return lhs.X, true
+	case *ast.StarExpr:
+		return lhs.X, true
+	}
+	return nil, false
+}
+
+// carries reports whether e evaluates to a value that aliases pooled
+// scratch: the pooled pointer itself, a projection of it (field, index,
+// slice), an append onto its backing array, or the result of a method
+// called on it (queryScratch.point hands out the pooled MC buffer).
+// Value-typed results (ints, structs copied by value) never carry.
+func carries(pass *framework.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	if e == nil || !refType(pass.TypeOf(e)) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return tainted[pass.ObjectOf(e)]
+	case *ast.SelectorExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.IndexExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.SliceExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.ParenExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.StarExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.UnaryExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.TypeAssertExpr:
+		return carries(pass, tainted, e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if carries(pass, tainted, el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if isPoolSource(pass, e) {
+			return true
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				if carries(pass, tainted, e.Args[0]) {
+					return true // append onto a pooled backing array
+				}
+				for i, arg := range e.Args[1:] {
+					t := pass.TypeOf(arg)
+					if e.Ellipsis.IsValid() && i == len(e.Args)-2 {
+						// append(out, frontier...) copies frontier's
+						// ELEMENTS; only their type decides aliasing.
+						if s, ok := t.Underlying().(*types.Slice); ok {
+							t = s.Elem()
+						}
+					}
+					if refType(t) && carries(pass, tainted, arg) {
+						return true // appending pooled references
+					}
+				}
+				return false
+			}
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && pass.TypesInfo.Selections[sel] != nil {
+			// A method on pooled scratch hands out pooled memory
+			// (queryScratch.point returns the pooled MC buffer).
+			return carries(pass, tainted, sel.X)
+		}
+		return false
+	}
+	return false
+}
+
+// isPoolSource matches the pool hand-out sites: the named accessors and
+// raw (*sync.Pool).Get calls.
+func isPoolSource(pass *framework.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "getScratch" || fun.Name == "getSeededRand"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Get" || pass.TypesInfo.Selections[fun] == nil {
+			return false
+		}
+		t := pass.TypeOf(fun.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() == "Pool" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+		}
+	case *ast.TypeAssertExpr:
+		if inner, ok := fun.X.(*ast.CallExpr); ok {
+			return isPoolSource(pass, inner)
+		}
+	}
+	return false
+}
+
+// refType reports whether t can alias memory: pointers, slices, maps,
+// channels, funcs, and interfaces carry references; basic values and
+// by-value structs do not.
+func refType(t types.Type) bool {
+	if t == nil {
+		return true // be conservative when the checker recorded no type
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

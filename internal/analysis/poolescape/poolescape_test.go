@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	framework.RunFixture(t, poolescape.Analyzer, "testdata/poolescape")
+}

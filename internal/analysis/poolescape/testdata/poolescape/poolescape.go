@@ -1,0 +1,95 @@
+// Package poolfix exercises the poolescape analyzer: pooled query
+// scratch must not outlive the query that borrowed it.
+package poolfix
+
+import "sync"
+
+type point []float64
+
+// queryScratch mirrors the pooled per-query scratch space.
+type queryScratch struct {
+	frontier []uint32
+	mc       point
+}
+
+var scratchPool = sync.Pool{New: func() any { return &queryScratch{} }}
+
+// getScratch is the pool hand-out funnel.
+func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+
+// release is the pool hand-back funnel.
+func (sc *queryScratch) release() { scratchPool.Put(sc) }
+
+// point carves the pooled MC buffer out of the scratch.
+func (sc *queryScratch) point(dim int) point {
+	if cap(sc.mc) < dim {
+		sc.mc = make(point, dim)
+	}
+	return sc.mc[:dim]
+}
+
+// cursor is a long-lived structure; pooled scratch must not end up in it.
+type cursor struct {
+	cached []uint32
+}
+
+// stash parks pooled scratch in a field that outlives the query.
+func (c *cursor) stash() {
+	sc := getScratch()
+	c.cached = sc.frontier // want `pooled scratch stored in a field or container in stash`
+	sc.release()
+}
+
+// leakReturn hands pooled memory to the caller after the Put site.
+func leakReturn() []uint32 {
+	sc := getScratch()
+	defer sc.release()
+	return sc.frontier // want `pooled scratch returned from leakReturn`
+}
+
+// leakDerived shows taint flowing through a projection (the MC buffer).
+func leakDerived(dim int) point {
+	sc := getScratch()
+	defer sc.release()
+	buf := sc.point(dim)
+	return buf // want `pooled scratch returned from leakDerived`
+}
+
+// leakGoroutine races the pool: the goroutine may still hold the
+// scratch after release returns it for reuse.
+func leakGoroutine() {
+	sc := getScratch()
+	go func() { // want `pooled scratch captured by a goroutine in leakGoroutine`
+		_ = sc.frontier
+	}()
+	sc.release()
+}
+
+// leakSend escapes through a channel to a receiver with its own lifetime.
+func leakSend(ch chan []uint32) {
+	sc := getScratch()
+	ch <- sc.frontier // want `pooled scratch sent on a channel in leakSend`
+	sc.release()
+}
+
+// query is the blessed pattern: borrow, use synchronously, copy values
+// out, release. Nothing here is flagged.
+func query(root uint32, dim int) []uint32 {
+	sc := getScratch()
+	defer sc.release()
+	frontier := sc.frontier[:0]
+	frontier = append(frontier, root)
+	sink(sc.point(dim))
+	out := make([]uint32, 0, len(frontier))
+	out = append(out, frontier...)
+	return out
+}
+
+// handoff shows the waiver: a documented transfer of ownership.
+func handoff() []uint32 {
+	sc := getScratch()
+	//ulint:ignore poolescape the caller adopts the scratch and releases it
+	return sc.frontier
+}
+
+func sink(point) {}

@@ -1,0 +1,70 @@
+// Package errfix exercises the typederr analyzer: sentinel errors are
+// matched with errors.Is and wrapped with %w, never compared or %v'd.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTorn mirrors a repository sentinel: package-level, Err-prefixed.
+var ErrTorn = errors.New("torn write")
+
+// errInternal is unexported and outside the Err* convention: not a
+// sentinel, so direct comparison against it is not this analyzer's
+// business.
+var errInternal = errors.New("internal")
+
+func check(err error) bool {
+	if err == ErrTorn { // want `direct == comparison against sentinel ErrTorn`
+		return true
+	}
+	if err != ErrTorn { // want `direct != comparison against sentinel ErrTorn`
+		return false
+	}
+	switch err {
+	case ErrTorn: // want `switch-case comparison against sentinel ErrTorn`
+		return true
+	}
+	return errors.Is(err, ErrTorn)
+}
+
+func private(err error) bool {
+	return err == errInternal
+}
+
+func wrapOpaque(err error) error {
+	return fmt.Errorf("flush: %v", err) // want `fmt\.Errorf folds the error in under %v`
+}
+
+func wrapSentinelOpaque() error {
+	return fmt.Errorf("flush: %v", ErrTorn) // want `fmt\.Errorf folds ErrTorn in under %v`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("flush: %w", err)
+}
+
+func wrapMixed(err error) error {
+	return fmt.Errorf("page %d: %w", 7, err)
+}
+
+func wrapStarWidth(err error) error {
+	return fmt.Errorf("%*d: %w", 4, 7, err)
+}
+
+type faultErr struct{ code int }
+
+func (e *faultErr) Error() string { return "fault" }
+
+// Is implements the errors.Is protocol: direct comparison against
+// sentinels is its entire job, so the whole body is exempt.
+func (e *faultErr) Is(target error) bool {
+	return target == ErrTorn
+}
+
+// compat shows the waiver mechanism.
+func compat(err error) bool {
+	//ulint:ignore typederr fixture exercises the waiver path
+	return err == ErrTorn
+}

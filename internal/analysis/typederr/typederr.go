@@ -1,0 +1,231 @@
+// Package typederr enforces the typed-error discipline: the repository's
+// sentinel errors (ErrCOWViolation, ErrTornWrite, ErrSnapshotTooOld, ...)
+// travel through wrapped chains — %w at wrap sites, errors.Is/As at
+// check sites. A direct ==/!= against a sentinel breaks the moment any
+// layer wraps the error (the fault-injection stores do, deliberately),
+// and an fmt.Errorf that folds a sentinel in with %v instead of %w
+// strips the identity that callers match on.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer flags identity-breaking uses of sentinel errors.
+var Analyzer = &framework.Analyzer{
+	Name: "typederr",
+	Doc: "flag ==/!= and switch-case comparisons against sentinel errors " +
+		"(use errors.Is) and fmt.Errorf wrapping a sentinel without %w",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isIsMethod(pass, fd) {
+				// The Is(target) method IS the errors.Is hook: direct
+				// comparison against sentinels is its entire job.
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					checkCompare(pass, n)
+				case *ast.SwitchStmt:
+					checkSwitch(pass, n)
+				case *ast.CallExpr:
+					checkErrorf(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isIsMethod matches the errors.Is protocol method `Is(error) bool`.
+func isIsMethod(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := pass.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Params().At(0).Type(), types.Universe.Lookup("error").Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+func checkCompare(pass *framework.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if name := sentinelName(pass, side); name != "" {
+			pass.Reportf(be.Pos(),
+				"direct %s comparison against sentinel %s: wrapped chains never match; use errors.Is(err, %s)",
+				be.Op, name, name)
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *framework.Pass, sw *ast.SwitchStmt) {
+	// `switch err { case ErrX: ... }` is == in disguise.
+	if sw.Tag == nil || !isErrorType(pass.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, st := range sw.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := sentinelName(pass, e); name != "" {
+				pass.Reportf(e.Pos(),
+					"switch-case comparison against sentinel %s: wrapped chains never match; use errors.Is(err, %s)",
+					name, name)
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that pass a sentinel (or any error
+// value) under a verb other than %w.
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.ObjectOf(id).(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format := pass.TypesInfo.Types[call.Args[0]].Value
+	if format == nil {
+		return
+	}
+	verbs, ok := formatVerbs(formatString(format.ExactString()))
+	for i, arg := range call.Args[1:] {
+		name := sentinelName(pass, arg)
+		if name == "" && !isErrorType(pass.TypeOf(arg)) {
+			continue
+		}
+		if name == "" {
+			name = "the error"
+		}
+		if !ok {
+			// Indexed or otherwise unparseable format: settle for "is
+			// there a %w at all".
+			if !strings.Contains(formatString(format.ExactString()), "%w") {
+				pass.Reportf(arg.Pos(),
+					"fmt.Errorf folds %s in without %%w: the sentinel identity is stripped and errors.Is stops matching", name)
+			}
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf folds %s in under %%%s: use %%w so errors.Is still matches through the wrap",
+				name, verbAt(verbs, i))
+		}
+	}
+}
+
+func verbAt(verbs []byte, i int) string {
+	if i < len(verbs) {
+		return string(verbs[i])
+	}
+	return "v"
+}
+
+// formatString strips the quotes from a constant's exact string form.
+func formatString(exact string) string {
+	if len(exact) >= 2 {
+		return exact[1 : len(exact)-1]
+	}
+	return exact
+}
+
+// formatVerbs returns the argument-consuming verb for each successive
+// argument of a Printf-style format. ok is false when the format uses
+// explicit argument indexes, which this parser does not model.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	verb:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break verb // literal %%
+			case c == '[':
+				return nil, false // indexed argument
+			case c == '*':
+				verbs = append(verbs, '*') // width/precision consumes an arg
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9'):
+				// flags, width, precision digits
+			default:
+				verbs = append(verbs, c)
+				break verb
+			}
+		}
+	}
+	return verbs, true
+}
+
+// sentinelName returns the qualified name of e when it denotes a
+// sentinel error — a package-level error variable named Err*, io.EOF,
+// or the context cancellation sentinels — and "" otherwise.
+func sentinelName(pass *framework.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "" // not package-level
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	switch {
+	case strings.HasPrefix(v.Name(), "Err"),
+		v.Name() == "EOF",
+		v.Pkg().Path() == "context" && (v.Name() == "Canceled" || v.Name() == "DeadlineExceeded"):
+		return v.Name()
+	}
+	return ""
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/typederr"
+)
+
+func TestTypederr(t *testing.T) {
+	framework.RunFixture(t, typederr.Analyzer, "testdata/typederr")
+}

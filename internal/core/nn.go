@@ -111,6 +111,7 @@ func (t *Tree) NearestNeighborsRO(q geom.Point, k int) ([]NNResult, NNStats, err
 // the per-object sampler seeding are untouched, so results are
 // byte-identical to the serial traversal.
 func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]NNResult, NNStats, error) {
+	//ulint:ignore ctxflow legacy non-cancellable entry point; the root context is the documented contract
 	return t.NearestNeighborsCtx(context.Background(), q, k, QueryOpts{})
 }
 

@@ -107,6 +107,7 @@ func (s *QueryStats) Add(o QueryStats) {
 // Like the rest of Tree, it is not safe for concurrent use (it advances the
 // shared refinement sampler); concurrent readers go through RangeQueryRO.
 func (t *Tree) RangeQuery(q Query) ([]Result, QueryStats, error) {
+	//ulint:ignore ctxflow legacy non-cancellable entry point; the root context is the documented contract
 	return t.RangeQueryCtx(context.Background(), q, QueryOpts{})
 }
 
@@ -136,6 +137,7 @@ func (t *Tree) RangeQueryCtx(ctx context.Context, q Query, o QueryOpts) ([]Resul
 // reproducible per query regardless of scheduling or batch order (like
 // ExpectedDistance's per-object seeding).
 func (t *Tree) RangeQueryRO(q Query) ([]Result, QueryStats, error) {
+	//ulint:ignore ctxflow legacy non-cancellable entry point; the root context is the documented contract
 	return t.RangeQueryROCtx(context.Background(), q, QueryOpts{})
 }
 
@@ -274,7 +276,7 @@ func (t *Tree) rangeQuery(root pagefile.PageID, q Query, rng *rand.Rand, plan *q
 	if err := validateQuery(t.dim, q); err != nil {
 		return nil, stats, err
 	}
-	start := time.Now()
+	start := time.Now() //ulint:ignore detquery timing feeds QueryStats only, never the result set
 
 	ses := t.openSessions(plan)
 	defer ses.drainInto(&stats.PrefetchIssued, &stats.PrefetchCoalesced, &stats.PrefetchWasted)
@@ -379,7 +381,7 @@ descent:
 	stats.FilterTime = time.Since(start)
 
 	// Refinement: group candidates by data page (one I/O per page).
-	refineStart := time.Now()
+	refineStart := time.Now() //ulint:ignore detquery timing feeds QueryStats only, never the result set
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].addr.Page != cands[b].addr.Page {
 			return cands[a].addr.Page < cands[b].addr.Page
@@ -402,7 +404,7 @@ descent:
 	}
 	mcBuf := sc.point(t.dim)
 	var pageBuf []byte
-	var pageID pagefile.PageID = pagefile.InvalidPage
+	pageID := pagefile.InvalidPage
 	for _, c := range cands {
 		if cerr := plan.ctx.Err(); cerr != nil {
 			stats.RefineTime = time.Since(refineStart)

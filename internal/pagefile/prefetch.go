@@ -79,19 +79,16 @@ func NewPrefetcher(workers int) *Prefetcher {
 // Workers reports the in-flight bound.
 func (p *Prefetcher) Workers() int { return p.workers }
 
-// NewSession opens a prefetch session over src. A session belongs to one
-// query: exactly one goroutine issues Prefetch/Get/ReadBatch calls, while
-// the session's own fetch goroutines run concurrently under the shared
-// in-flight bound. Call Drain before abandoning the session.
-func (p *Prefetcher) NewSession(src Getter) *PrefetchSession {
-	return p.NewSessionCtx(context.Background(), src)
-}
-
-// NewSessionCtx is NewSession bound to a context: once ctx is cancelled the
-// session stops touching storage — scheduled-but-unstarted fetches fail
-// with ctx.Err() instead of being read, and Get reports the same error —
-// so a cancelled query's Drain only waits out the reads already in flight
-// (at most the worker bound), not its whole scheduled backlog.
+// NewSessionCtx opens a prefetch session over src, bound to ctx. A
+// session belongs to one query: exactly one goroutine issues
+// Prefetch/Get/ReadBatch calls, while the session's own fetch goroutines
+// run concurrently under the shared in-flight bound. Call Drain before
+// abandoning the session. Once ctx is cancelled the session stops
+// touching storage — scheduled-but-unstarted fetches fail with ctx.Err()
+// instead of being read, and Get reports the same error — so a cancelled
+// query's Drain only waits out the reads already in flight (at most the
+// worker bound), not its whole scheduled backlog. A nil ctx means the
+// session is never cancelled.
 func (p *Prefetcher) NewSessionCtx(ctx context.Context, src Getter) *PrefetchSession {
 	if ctx == nil {
 		ctx = context.Background()

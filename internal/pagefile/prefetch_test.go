@@ -1,6 +1,7 @@
 package pagefile
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -53,7 +54,7 @@ func newTrackingStore(t *testing.T, pages int, delay time.Duration) (*trackingSt
 
 func TestPrefetchReadBatchOrderAndContents(t *testing.T) {
 	ts, ids := newTrackingStore(t, 32, 0)
-	ses := NewPrefetcher(4).NewSession(AsGetter(ts))
+	ses := NewPrefetcher(4).NewSessionCtx(context.Background(), AsGetter(ts))
 	pages, err := ses.ReadBatch(ids)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +76,7 @@ func TestPrefetchReadBatchOrderAndContents(t *testing.T) {
 func TestPrefetchBoundsInFlight(t *testing.T) {
 	const workers = 3
 	ts, ids := newTrackingStore(t, 24, 2*time.Millisecond)
-	ses := NewPrefetcher(workers).NewSession(AsGetter(ts))
+	ses := NewPrefetcher(workers).NewSessionCtx(context.Background(), AsGetter(ts))
 	if _, err := ses.ReadBatch(ids); err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestPrefetchBoundsInFlight(t *testing.T) {
 
 func TestPrefetchDedupAndWaste(t *testing.T) {
 	ts, ids := newTrackingStore(t, 8, time.Millisecond)
-	ses := NewPrefetcher(2).NewSession(AsGetter(ts))
+	ses := NewPrefetcher(2).NewSessionCtx(context.Background(), AsGetter(ts))
 
 	// Double-prefetch the same pages: the second round must coalesce.
 	ses.Prefetch(ids[:4]...)
@@ -113,7 +114,7 @@ func TestPrefetchDedupAndWaste(t *testing.T) {
 
 func TestPrefetchGetWithoutPrefetchReadsDirectly(t *testing.T) {
 	ts, ids := newTrackingStore(t, 2, 0)
-	ses := NewPrefetcher(2).NewSession(AsGetter(ts))
+	ses := NewPrefetcher(2).NewSessionCtx(context.Background(), AsGetter(ts))
 	p, err := ses.Get(ids[1])
 	if err != nil || p[0] != byte(ids[1]) {
 		t.Fatalf("Get = %v, %v", p, err)
@@ -134,7 +135,7 @@ func TestPrefetchConcurrentSessions(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ses := pf.NewSession(AsGetter(ts))
+			ses := pf.NewSessionCtx(context.Background(), AsGetter(ts))
 			defer ses.Drain()
 			for i := 0; i < 20; i++ {
 				id := ids[(w*7+i*3)%len(ids)]

@@ -1,0 +1,13 @@
+module repro/tools
+
+go 1.24
+
+tool (
+	golang.org/x/vuln/cmd/govulncheck
+	honnef.co/go/tools/cmd/staticcheck
+)
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

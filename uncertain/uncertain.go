@@ -332,7 +332,7 @@ func (t *Tree) rollback(opErr error) error {
 	t.revertUndo()
 	t.groupOps = 0
 	if rbErr != nil {
-		return fmt.Errorf("%w (rollback also failed: %v)", opErr, rbErr)
+		return fmt.Errorf("%w (rollback also failed: %w)", opErr, rbErr)
 	}
 	if dropped > 1 {
 		return fmt.Errorf("%w (rolled back %d uncommitted grouped operations)", opErr, dropped)
@@ -493,6 +493,7 @@ func (t *Tree) unblockRetries() {
 	if t.retry == nil {
 		return
 	}
+	//ulint:ignore ctxflow constructs an already-cancelled context on purpose; nothing upstream can cancel sooner
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	t.retry.BindContext(ctx)
