@@ -16,9 +16,10 @@
 //	ubench -parallel -query-timeout 5         # per-query deadlines; cancelled counts in -json rows
 //	ubench -parallel -limit 8 -page-budget 32 -mc-samples 500   # per-query option knobs
 //	ubench -experiment faultpath -short       # chaos-injection fault-tolerance check, CI size
+//	ubench -experiment planner -json out.json # adaptive planning vs full fan-out
 //
 // Experiments: fig7, fig8, table1, fig9, fig10, fig11, ablations, parallel,
-// sharded, pipeline, writepath, cpupath, faultpath, all.
+// sharded, pipeline, writepath, cpupath, faultpath, planner, all.
 //
 // -json writes the throughput experiments' structured rows (workload
 // params, q/s, merged query stats) to a file, so perf trajectories can be
@@ -67,11 +68,12 @@ type jsonReport struct {
 	WritePath []experiments.WritePathRow `json:",omitempty"`
 	CPUPath   []experiments.CPUPathRow   `json:",omitempty"`
 	FaultPath []experiments.FaultPathRow `json:",omitempty"`
+	Planner   []experiments.PlannerRow   `json:",omitempty"`
 }
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|cpupath|faultpath|all")
+		exp      = flag.String("experiment", "all", "fig7|fig8|table1|fig9|fig10|fig11|ablations|parallel|sharded|pipeline|writepath|cpupath|faultpath|planner|all")
 		short    = flag.Bool("short", false, "shrink the dataset scale and query count for CI smoke runs")
 		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = paper size)")
 		queries  = flag.Int("queries", 0, "queries per workload (0 = default)")
@@ -250,6 +252,14 @@ func main() {
 		run("faultpath", func() error {
 			rows, err := experiments.FaultPath(cfg)
 			report.FaultPath = rows
+			return err
+		})
+		ran = true
+	}
+	if all || *exp == "planner" {
+		run("planner", func() error {
+			rows, err := experiments.PlannerAdaptive(cfg)
+			report.Planner = rows
 			return err
 		})
 		ran = true

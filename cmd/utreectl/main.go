@@ -22,6 +22,11 @@
 // -prefetch N arms intra-query I/O pipelining: up to N of one query's page
 // fetches proceed concurrently (results are identical; only wall time
 // changes), e.g. `utreectl query -latency 10 -prefetch 8 ...`.
+// -adaptive turns on cost-model-driven planning for the session: queries
+// pick their prefetch fan-out from predicted I/O and arm the
+// probability-bound filter (results stay identical); query prints the
+// planner's prediction next to the measured accesses, and stats reports
+// the planner's lifetime diagnostics.
 //
 // query and nn additionally take the per-query options of the
 // context-first API: -timeout (wall-time deadline, ms; a timed-out query
@@ -66,6 +71,7 @@ func main() {
 		buffer   = fs.Int("buffer", 0, "buffer pool size in pages (0 = default 256)")
 		latency  = fs.Float64("latency", 0, "simulated per-page storage latency, milliseconds (0 disables; paper era model: 10)")
 		prefetch = fs.Int("prefetch", 0, "intra-query prefetch fan-out: concurrent page fetches one query may have in flight (0 disables)")
+		adaptive = fs.Bool("adaptive", false, "enable cost-model-driven adaptive planning and the probability-bound filter for this session")
 
 		// Per-query options for query and nn.
 		timeoutMS  = fs.Float64("timeout", 0, "per-query wall-time deadline, milliseconds (0 = none); a timed-out query prints its partial results")
@@ -90,6 +96,8 @@ func main() {
 		BufferPages:          *buffer,
 		SimulatedPageLatency: time.Duration(*latency * float64(time.Millisecond)),
 		PrefetchWorkers:      *prefetch,
+		AdaptivePlanning:     *adaptive,
+		ProbFilter:           *adaptive,
 	}
 	q := queryParams{
 		timeout:    time.Duration(*timeoutMS * float64(time.Millisecond)),
@@ -238,6 +246,13 @@ func stats(path string, cfg uncertain.Config) error {
 	for _, qp := range h.Quarantined {
 		fmt.Printf("  quarantined page %d (epoch %d): %s\n", qp.Page, qp.Epoch, qp.Cause)
 	}
+	if info := tree.PlannerInfo(); info.Enabled {
+		fmt.Printf("planner:   %d model rebuilds, %d queries planned; predicted/measured io %.0f/%.0f (calibration %.3f)\n",
+			info.ModelRebuilds, info.Queries,
+			info.PredictedAccesses, info.MeasuredAccesses, info.CalibrationFactor)
+	} else {
+		fmt.Printf("planner:   off (-adaptive enables cost-model-driven planning)\n")
+	}
 	return nil
 }
 
@@ -318,6 +333,13 @@ func query(path, rectSpec string, prob float64, cfg uncertain.Config, qp queryPa
 	if s.PrefetchIssued > 0 {
 		fmt.Printf("prefetch: %d issued, %d coalesced, %d wasted\n",
 			s.PrefetchIssued, s.PrefetchCoalesced, s.PrefetchWasted)
+	}
+	if s.ProbFilterPruned > 0 {
+		fmt.Printf("prob filter: %d candidates pruned before refinement\n", s.ProbFilterPruned)
+	}
+	if info := tree.PlannerInfo(); info.Enabled && info.Queries > 0 {
+		fmt.Printf("planner: predicted %.1f node accesses, measured %d (calibration %.3f)\n",
+			info.PredictedAccesses, s.NodeAccesses, info.CalibrationFactor)
 	}
 	for i, r := range results {
 		if i == 20 {

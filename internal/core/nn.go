@@ -58,6 +58,15 @@ type NNStats struct {
 	// performed while this query ran (see QueryStats.Retries for the
 	// attribution caveat under concurrency).
 	Retries int
+
+	// BoundPruned counts frontier entries abandoned because the shared
+	// cross-shard k-th distance bound proved them unable to reach the
+	// merged top k (zero outside sharded scatter-gather).
+	BoundPruned int
+
+	// ShardsPruned counts whole shards skipped by root-MBR distance
+	// ranking against the shared bound (filled by the sharded layer).
+	ShardsPruned int
 }
 
 // Add accumulates o into s — the NN counterpart of QueryStats.Add, shared
@@ -73,6 +82,8 @@ func (s *NNStats) Add(o NNStats) {
 	s.NodeCacheHits += o.NodeCacheHits
 	s.NodeCacheMisses += o.NodeCacheMisses
 	s.Retries += o.Retries
+	s.BoundPruned += o.BoundPruned
+	s.ShardsPruned += o.ShardsPruned
 }
 
 // nnItem is a priority-queue element: either a tree node or a leaf object
@@ -177,6 +188,15 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 		if len(best) == k && it.lb >= worst {
 			break // every remaining item is at least as far
 		}
+		if plan.nnBound != nil && it.lb > plan.nnBound.Load() {
+			// The shared cross-shard bound already proves every remaining
+			// frontier entry (dist ≥ lb > bound ≥ merged k-th) out of the
+			// merged top k — stop before fetching their pages. Strict >
+			// keeps distance ties eligible, so (dist, ID) merge tie-breaks
+			// are unaffected.
+			stats.BoundPruned += pq.Len() + 1
+			break
+		}
 		if ses.nodes != nil {
 			t.speculateNN(pq, ses, len(best) == k, worst)
 		}
@@ -229,6 +249,10 @@ func (t *Tree) nearestNeighborsAt(root pagefile.PageID, ctx context.Context, q g
 			worst = best[len(best)-1].ExpectedDist
 			if len(best) < k {
 				worst = math.Inf(1)
+			} else if plan.nnBound != nil {
+				// This traversal's k-th best upper-bounds the merged k-th
+				// (the merge only improves on any single shard's list).
+				plan.nnBound.Update(worst)
 			}
 		}
 	}
@@ -286,6 +310,11 @@ func insertNN(best []NNResult, r NNResult, k int) []NNResult {
 	}
 	return best
 }
+
+// MinDist exposes the traversal's MINDIST for the sharded layer's
+// cost-ranked NN shard ordering (rank shards by distance to their root
+// MBR; visit nearest first so the shared bound tightens early).
+func MinDist(q geom.Point, rect geom.Rect) float64 { return minDist(q, rect) }
 
 // minDist is the classic MINDIST: the distance from q to the nearest point
 // of rect (0 when q is inside).

@@ -99,6 +99,10 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 		exact:   opt.ExactRefinement,
 	}
 	t.seed = seed
+	if opt.AdaptivePlanning {
+		t.planner = newPlanner()
+	}
+	t.probFilter = opt.ProbFilter
 	t.setPrefetchWorkers(opt.PrefetchWorkers)
 	t.pool = pagefile.NewBufferPool(t.store, bufPages)
 	t.vs.AttachPool(t.pool)
@@ -118,6 +122,9 @@ func Open(store pagefile.Store, metaPage pagefile.PageID, opt Options) (*Tree, e
 	// Publish the recovered state as the committed epoch so snapshots work
 	// immediately and the first mutation copy-on-writes the recovered pages.
 	t.vs.SeedState(t.workingState())
+	// A reopened tree is already committed, so the planner's model can be
+	// built right away instead of waiting for the next commit.
+	t.maybeRefreshPlanner()
 	t.vs.StartReclaimer(opt.ReclaimInterval, opt.ReclaimBudget)
 	t.StartScrubber(opt.ScrubInterval, opt.ScrubBudget)
 	return t, nil

@@ -21,6 +21,13 @@ import (
 // (every returned object truly qualifies), the set is just incomplete.
 var ErrBudgetExceeded = errors.New("core: page budget exceeded")
 
+// probFilterEps is the safety margin of the probabilistic candidate
+// filter: a candidate is pruned only when its qualification-probability
+// upper bound is below the query threshold by more than this, absorbing
+// the float noise PCR nesting repair can introduce into stored slab
+// positions.
+const probFilterEps = 1e-9
+
 // QueryOpts carries per-query overrides of the tree's configured query
 // behavior. The zero value means "inherit everything" and reproduces the
 // tree's configured behavior bit for bit.
@@ -53,6 +60,16 @@ type QueryOpts struct {
 	// core traversal itself ignores the flag — a single tree has no
 	// healthy remainder to serve — it is consumed by the sharded layer.
 	AllowDegraded bool
+	// ProbFilter overrides the tree's probabilistic candidate filter when
+	// ProbFilterSet is true (see Options.ProbFilter).
+	ProbFilterSet bool
+	ProbFilter    bool
+	// NNBound, when non-nil, is a shared upper bound on the k-th smallest
+	// expected distance for an NN query — the cross-shard frontier of a
+	// scatter-gather: the traversal stops once its heap's lower bound
+	// exceeds it, and publishes its own k-th best into it. Range queries
+	// ignore it.
+	NNBound *NNBound
 }
 
 // qplan is a QueryOpts resolved against the tree's configuration: every
@@ -64,6 +81,17 @@ type qplan struct {
 	prefetch *pagefile.Prefetcher // nil = no prefetching
 	limit    int
 	budget   int
+	// probFilter arms the PCR-slab qualification-probability filter in the
+	// candidate stage (see Options.ProbFilter).
+	probFilter bool
+	// issueCap bounds the speculative async issues of the node prefetch
+	// session when > 0 — set by the adaptive planner from its predicted
+	// access count. Unissued pages degrade to synchronous reads; results
+	// are unaffected.
+	issueCap int
+	// nnBound is the shared cross-shard k-th distance bound (nil outside
+	// sharded NN scatter-gather).
+	nnBound *NNBound
 }
 
 // resolvePlan merges o over the tree's configured defaults. With a zero
@@ -74,15 +102,20 @@ func (t *Tree) resolvePlan(ctx context.Context, o QueryOpts) qplan {
 		ctx = context.Background()
 	}
 	p := qplan{
-		ctx:      ctx,
-		samples:  t.samples,
-		exact:    t.exact,
-		prefetch: t.prefetch,
-		limit:    o.Limit,
-		budget:   o.PageBudget,
+		ctx:        ctx,
+		samples:    t.samples,
+		exact:      t.exact,
+		prefetch:   t.prefetch,
+		limit:      o.Limit,
+		budget:     o.PageBudget,
+		probFilter: t.probFilter,
+		nnBound:    o.NNBound,
 	}
 	if o.MCSamples > 0 {
 		p.samples = o.MCSamples
+	}
+	if o.ProbFilterSet {
+		p.probFilter = o.ProbFilter
 	}
 	if o.ExactSet {
 		p.exact = o.Exact

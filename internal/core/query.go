@@ -74,6 +74,17 @@ type QueryStats struct {
 	// retry may be attributed to whichever query was in flight — the sum
 	// across queries remains exact.
 	Retries int
+
+	// ProbFilterPruned counts candidates discarded by the probabilistic
+	// PCR-slab filter before refinement (zero when the filter is off) —
+	// each one is a probability computation and possibly a data-page read
+	// that never happened.
+	ProbFilterPruned int
+
+	// ShardsPruned counts whole shards skipped by root-MBR pruning in a
+	// sharded scatter-gather (always zero for a single tree; filled by the
+	// sharded layer through Add).
+	ShardsPruned int
 }
 
 // Add accumulates o into s, field by field. It is the single merge point
@@ -97,6 +108,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.NodeCacheHits += o.NodeCacheHits
 	s.NodeCacheMisses += o.NodeCacheMisses
 	s.Retries += o.Retries
+	s.ProbFilterPruned += o.ProbFilterPruned
+	s.ShardsPruned += o.ShardsPruned
 }
 
 // RangeQuery executes a prob-range query (Section 5.2): Observation 4
@@ -124,7 +137,12 @@ func (t *Tree) RangeQueryCtx(ctx context.Context, q Query, o QueryOpts) ([]Resul
 		return nil, QueryStats{}, err
 	}
 	p := t.resolvePlan(ctx, o)
-	return t.rangeQuery(t.rootPage, q, t.rng, &p)
+	pred, armed := t.planQuery(q, o, &p)
+	res, stats, err := t.rangeQuery(t.rootPage, q, t.rng, &p)
+	if armed && err == nil {
+		t.planner.observe(pred, stats.NodeAccesses)
+	}
+	return res, stats, err
 }
 
 // RangeQueryRO is the read-only query entry point: it answers q against
@@ -150,9 +168,14 @@ func (t *Tree) RangeQueryROCtx(ctx context.Context, q Query, o QueryOpts) ([]Res
 		return nil, QueryStats{}, err
 	}
 	p := t.resolvePlan(ctx, o)
+	pred, armed := t.planQuery(q, o, &p)
 	rng := getSeededRand(t.roSeed(q))
 	defer putRand(rng)
-	return t.rangeQuery(t.rootPage, q, rng, &p)
+	res, stats, err := t.rangeQuery(t.rootPage, q, rng, &p)
+	if armed && err == nil {
+		t.planner.observe(pred, stats.NodeAccesses)
+	}
+	return res, stats, err
 }
 
 // roSeed derives a deterministic sampler seed from the tree seed and the
@@ -190,10 +213,17 @@ func (t *Tree) openSessions(p *qplan) querySessions {
 	if p.prefetch == nil {
 		return querySessions{}
 	}
-	return querySessions{
+	qs := querySessions{
 		nodes: p.prefetch.NewSessionCtx(p.ctx, t.pool),
 		data:  p.prefetch.NewSessionCtx(p.ctx, pagefile.AsGetter(t.store)),
 	}
+	if p.issueCap > 0 {
+		// The planner's speculative-issue budget applies to the node
+		// session only: data-page prefetches are never speculative (every
+		// scheduled page is consumed by a candidate).
+		qs.nodes.LimitIssued(p.issueCap)
+	}
+	return qs
 }
 
 // drainInto waits out any in-flight fetches (mandatory: fetch goroutines
@@ -371,6 +401,24 @@ descent:
 						break descent
 					}
 				case pcr.Unknown:
+					if plan.probFilter {
+						// Bernecker-style probabilistic filter: bound the
+						// qualification probability from the PCR slabs; a
+						// candidate whose bound is provably below p_q never
+						// reaches refinement. The epsilon absorbs the float
+						// noise of PCR nesting repair, so only strictly
+						// non-qualifying candidates drop.
+						var ub float64
+						if t.kind == UTree {
+							ub = pcr.ProbUpperBoundCFB(e.out, e.in, t.cat, q.Rect)
+						} else {
+							ub = pcr.ProbUpperBoundPCR(pcr.PCRs{Cat: t.cat, Boxes: e.pcrs}, q.Rect)
+						}
+						if ub < q.Prob-probFilterEps {
+							stats.ProbFilterPruned++
+							continue
+						}
+					}
 					cands = append(cands, candidate{e.id, e.addr})
 				}
 			}

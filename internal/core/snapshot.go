@@ -22,15 +22,28 @@ type treeState struct {
 	rootLevel int
 	size      int
 	dataPage  pagefile.PageID
+	// rootMBR is the root boundary box at p = 0 — the rectangle containing
+	// every object MBR of the epoch. Captured at publication so sharded
+	// readers can prune whole shards against a query rect without touching
+	// the shard's pages. Zero when unknown (planner off, empty tree or
+	// read failure); consumers must treat zero as "cannot prune".
+	rootMBR geom.Rect
 }
 
 func (t *Tree) workingState() *treeState {
-	return &treeState{
+	st := &treeState{
 		rootPage:  t.rootPage,
 		rootLevel: t.rootLevel,
 		size:      t.size,
 		dataPage:  t.data.CurrentPage(),
 	}
+	// Capture the root box only under adaptive planning: the quiet root
+	// read warms the buffer pool, which non-planned trees' exact I/O
+	// accounting (page budgets, cache-stat deltas) must not see.
+	if t.planner != nil {
+		st.rootMBR = t.rootBoundaryMBR()
+	}
+	return st
 }
 
 // Commit seals the open mutation batch: flushes the shadow pages through
@@ -61,7 +74,13 @@ func (t *Tree) CommitWithMeta(meta pagefile.PageID) error {
 			return err
 		}
 	}
-	return t.vs.Commit(t.workingState())
+	if err := t.vs.Commit(t.workingState()); err != nil {
+		return err
+	}
+	// Writer-side planner upkeep: rebuild the cost model when the committed
+	// tree has drifted from the shape the model was fitted on.
+	t.maybeRefreshPlanner()
+	return nil
 }
 
 // Rollback abandons the open mutation batch after a failed operation:
@@ -159,17 +178,28 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 // Len returns the object count at the pinned epoch.
 func (s *Snapshot) Len() int { return s.st.size }
 
+// RootMBR returns the pinned epoch's root bounding box at p = 0 — the
+// rectangle containing every indexed object's region MBR. The zero Rect
+// means unknown (empty epoch); callers pruning on it must treat zero as
+// "may contain anything".
+func (s *Snapshot) RootMBR() geom.Rect { return s.st.rootMBR }
+
 // RangeQuery answers a probabilistic range query against the pinned
 // epoch, lock-free. The refinement sampler is seeded from (tree seed,
 // query) exactly like RangeQueryRO, so results are reproducible per query
 // whatever the scheduling.
 func (s *Snapshot) RangeQuery(ctx context.Context, q Query, o QueryOpts) ([]Result, QueryStats, error) {
 	p := s.t.resolvePlan(ctx, o)
+	pred, armed := s.t.planQuery(q, o, &p)
 	// The sampler is pooled and re-seeded per query — (*Rand).Seed
 	// reproduces exactly the sequence a fresh rand.New would draw.
 	rng := getSeededRand(s.t.roSeed(q))
 	defer putRand(rng)
-	return s.t.rangeQuery(s.st.rootPage, q, rng, &p)
+	res, stats, err := s.t.rangeQuery(s.st.rootPage, q, rng, &p)
+	if armed && err == nil {
+		s.t.planner.observe(pred, stats.NodeAccesses)
+	}
+	return res, stats, err
 }
 
 // NearestNeighbors answers an expected-distance k-NN query against the

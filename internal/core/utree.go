@@ -74,6 +74,24 @@ type Options struct {
 	// ScrubBudget bounds the page verifications one scrub tick performs
 	// (0 selects DefaultScrubBudget); ignored when ScrubInterval is 0.
 	ScrubBudget int
+	// AdaptivePlanning enables the cost-model-driven query planner: the
+	// tree maintains a CostModel over its committed shape (rebuilt at
+	// commit when the tree drifts), predicts each query's node accesses
+	// before descent, and picks the prefetch fan-out and speculative-issue
+	// cap from the prediction — serial for cheap queries, a deep pipeline
+	// for expensive ones. Measured accesses calibrate the model online.
+	// Explicit per-query options (WithPrefetchWorkers, WithPageBudget)
+	// always override the planner. Results are byte-identical either way.
+	AdaptivePlanning bool
+	// ProbFilter enables the Bernecker-style probabilistic candidate
+	// filter: before refinement, each candidate's qualification probability
+	// is upper-bounded from its PCR slabs and the candidate is discarded
+	// when the bound falls below the query threshold. The filter only
+	// drops provably non-qualifying candidates, so the result set is
+	// unchanged; under Monte-Carlo refinement the sampler stream shifts
+	// (fewer candidates sampled), so byte-identity to the unfiltered path
+	// is guaranteed only with ExactRefinement.
+	ProbFilter bool
 }
 
 // SplitStrategy selects the rectangles fed to the R* split during overflow
@@ -139,6 +157,12 @@ type Tree struct {
 	// intra-query prefetching is disabled. Fixed at open time (per-query
 	// overrides carry their own prefetcher), so queries read it freely.
 	prefetch *pagefile.Prefetcher
+
+	// planner is the adaptive query planner (nil unless
+	// Options.AdaptivePlanning); probFilter arms the PCR-slab candidate
+	// filter by default (per-query options can still flip it).
+	planner    *Planner
+	probFilter bool
 
 	// Logical I/O counters (reset via ResetCounters). Atomic so the
 	// read-only query path can run under a shared lock.
@@ -220,6 +244,10 @@ func New(opt Options) (*Tree, error) {
 		disableReinsert: opt.DisableReinsert,
 	}
 	t.seed = seed
+	if opt.AdaptivePlanning {
+		t.planner = newPlanner()
+	}
+	t.probFilter = opt.ProbFilter
 	t.setPrefetchWorkers(opt.PrefetchWorkers)
 	t.pool = pagefile.NewBufferPool(t.store, bufPages)
 	t.vs.AttachPool(t.pool)

@@ -195,6 +195,48 @@ func TestShardedMixedShapes(t *testing.T) {
 	}
 }
 
+// TestPlannerAdaptiveShapes runs the adaptive-planning comparison at CI
+// scale: the experiment itself enforces byte-identity with the full
+// fan-out and the admission-control properties; this asserts the planner
+// actually pruned, sped the workload up, and predicted its own I/O within
+// the calibration budget. Scale 0.02 (not tiny()) so every spatial shard
+// crosses the planner's minimum tree size and builds a cost model.
+func TestPlannerAdaptiveShapes(t *testing.T) {
+	rows, err := PlannerAdaptive(Config{Scale: 0.02, Queries: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "fanout" || rows[1].Mode != "planner" {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	base, plan := rows[0], rows[1]
+	if !base.Identical || !plan.Identical {
+		t.Fatal("identity flag not set (the experiment should have failed outright)")
+	}
+	if plan.ShardsPruned == 0 {
+		t.Error("no shard pruned on the hotspot workload")
+	}
+	if plan.ProbFilterPruned == 0 {
+		t.Error("probability filter never pruned a narrow probe")
+	}
+	if plan.NodeAccesses >= base.NodeAccesses {
+		t.Errorf("planner io/q %.1f not below fan-out %.1f", plan.NodeAccesses, base.NodeAccesses)
+	}
+	if plan.EraSpeedup < 1.2 {
+		t.Errorf("era-model speedup %.2fx below 1.2x", plan.EraSpeedup)
+	}
+	if plan.MeasuredIO <= 0 {
+		t.Fatal("planner recorded no measured accesses")
+	}
+	ratio := plan.PredictedIO / plan.MeasuredIO
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("prediction ratio %.2f outside the 2x budget", ratio)
+	}
+	if plan.AdmissionRejected == 0 {
+		t.Error("overload phase shed nothing")
+	}
+}
+
 func TestCPUPathShapes(t *testing.T) {
 	rows, err := CPUPath(tiny())
 	if err != nil {

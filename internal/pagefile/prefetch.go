@@ -115,8 +115,21 @@ type PrefetchSession struct {
 	inflight map[PageID]*pageFetch
 	queue    []*pageFetch // scheduled, not yet picked up by a drainer
 	drainers int          // fetch goroutines alive, ≤ pf.workers
+	maxIssue int          // async-issue cap; 0 = unlimited (see LimitIssued)
 	wg       sync.WaitGroup
 	stats    PrefetchStats
+}
+
+// LimitIssued caps the async reads this session may issue over its
+// lifetime; requests past the cap are silently dropped and the eventual
+// Get falls back to a synchronous read, so results are unaffected — only
+// how much speculation the session is allowed to do. The adaptive planner
+// uses it to bound a query's speculative I/O near its predicted access
+// count. Call before the first Prefetch; 0 means unlimited.
+func (s *PrefetchSession) LimitIssued(n int) {
+	s.mu.Lock()
+	s.maxIssue = n
+	s.mu.Unlock()
 }
 
 // Prefetch schedules async reads for ids. It never blocks on I/O: requests
@@ -131,6 +144,9 @@ func (s *PrefetchSession) Prefetch(ids ...PageID) {
 		if _, ok := s.inflight[id]; ok {
 			s.stats.Coalesced++
 			continue
+		}
+		if s.maxIssue > 0 && s.stats.Issued >= s.maxIssue {
+			continue // past the speculation cap; Get will read synchronously
 		}
 		f := &pageFetch{id: id, done: make(chan struct{})}
 		s.inflight[id] = f

@@ -1,0 +1,101 @@
+package pcr
+
+import "repro/internal/geom"
+
+// This file implements a Bernecker-style probabilistic filter: an upper
+// bound on an object's qualification probability P(X ∈ rq) computed from
+// its PCR slab positions alone, with no assumption on the pdf beyond the
+// PCR face property. Candidates whose bound falls below the query
+// threshold are provably non-qualifying and never reach Monte-Carlo (or
+// exact) refinement.
+//
+// The bound works per dimension. Write [a, b] for the query's interval on
+// dimension i and recall the PCR face property: the low face of pcr(p_j)
+// sits at the left p_j-quantile of X_i (P(X_i ≤ lo_j) = p_j) and the high
+// face at the right one (P(X_i ≥ hi_j) = p_j). Three observations bound
+// P(X_i ∈ [a, b]):
+//
+//   - side-left: if b ≤ lo_j the whole query interval sits in the left
+//     p_j tail, so P ≤ p_j (smallest such p_j wins);
+//   - side-right: symmetrically, if a ≥ hi_j then P ≤ p_j;
+//   - middle: P(X_i ∈ [a, b]) = 1 − P(X_i < a) − P(X_i > b) ≤
+//     1 − p_left − p_right, where p_left is the largest p_j whose low
+//     face is strictly left of a and p_right the largest p_j whose high
+//     face is strictly right of b.
+//
+// Since P(X ∈ rq) ≤ P(X_i ∈ [a_i, b_i]) for every dimension, the total
+// bound is the minimum of the per-dimension bounds — no independence
+// across dimensions is assumed.
+//
+// Conservativeness under storage noise: PCR nesting repair and CFB
+// fitting only move outer faces outward and inner faces inward, which
+// keeps the side bounds exact and can overstate the middle bound's
+// p_left/p_right by float-level noise only; consumers compare against
+// the threshold with a safety epsilon.
+
+// ProbUpperBoundPCR bounds the qualification probability of an object
+// stored as explicit catalog PCRs (the U-PCR leaf format).
+func ProbUpperBoundPCR(p PCRs, rq geom.Rect) float64 {
+	return probUpperBound(p.Cat, rq,
+		func(j, i int) (float64, float64) { return p.Boxes[j].Lo[i], p.Boxes[j].Hi[i] },
+		func(j, i int) (float64, float64) { return p.Boxes[j].Lo[i], p.Boxes[j].Hi[i] },
+	)
+}
+
+// ProbUpperBoundCFB bounds the qualification probability of an object
+// stored as a cfb_out/cfb_in pair (the U-tree leaf format). The out box
+// covers pcr(p_j), so its faces substitute in the side bounds; the in box
+// is contained in pcr(p_j), so its faces substitute in the middle bound —
+// each substitution only weakens the bound, never breaks it.
+func ProbUpperBoundCFB(out, in CFB, cat Catalog, rq geom.Rect) float64 {
+	return probUpperBound(cat, rq,
+		func(j, i int) (float64, float64) { p := cat.Value(j); return out.Lo(i, p), out.Hi(i, p) },
+		func(j, i int) (float64, float64) { p := cat.Value(j); return in.Lo(i, p), in.Hi(i, p) },
+	)
+}
+
+// probUpperBound is the shared slab scan. outFace supplies faces
+// guaranteed to contain pcr(p_j) (used where a face position must not be
+// understated) and inFace faces guaranteed to be contained in it (used
+// where it must not be overstated); for raw PCRs both are the slabs
+// themselves.
+func probUpperBound(cat Catalog, rq geom.Rect, outFace, inFace func(j, i int) (float64, float64)) float64 {
+	ub := 1.0
+	for i := 0; i < rq.Dim(); i++ {
+		a, b := rq.Lo[i], rq.Hi[i]
+		sideLeft, sideRight := 1.0, 1.0
+		pLeft, pRight := 0.0, 0.0
+		for j := 0; j < cat.Size(); j++ {
+			pj := cat.Value(j)
+			olo, ohi := outFace(j, i)
+			if olo >= b && pj < sideLeft {
+				sideLeft = pj
+			}
+			if ohi <= a && pj < sideRight {
+				sideRight = pj
+			}
+			ilo, ihi := inFace(j, i)
+			if ilo < a && pj > pLeft {
+				pLeft = pj
+			}
+			if ihi > b && pj > pRight {
+				pRight = pj
+			}
+		}
+		middle := 1 - pLeft - pRight
+		if middle < 0 {
+			middle = 0
+		}
+		dimUB := middle
+		if sideLeft < dimUB {
+			dimUB = sideLeft
+		}
+		if sideRight < dimUB {
+			dimUB = sideRight
+		}
+		if dimUB < ub {
+			ub = dimUB
+		}
+	}
+	return ub
+}

@@ -1,0 +1,88 @@
+package pcr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/updf"
+)
+
+// exactProber is the closed-form/quadrature oracle the refinement step
+// uses; every test pdf here provides it, giving ground truth for the
+// bound's soundness check.
+type exactProber interface {
+	ExactProb(rq geom.Rect) float64
+}
+
+func boundTestPDFs() []updf.PDF {
+	r := geom.NewRect(geom.Point{100, 100}, geom.Point{180, 150})
+	return []updf.PDF{
+		updf.NewUniformRect(r),
+		updf.NewUniformBall(geom.Point{140, 125}, 30),
+		updf.NewConGauBall(geom.Point{140, 125}, 30, 15),
+		updf.NewGaussRect(r, geom.Point{140, 125}, []float64{20, 12}),
+	}
+}
+
+// TestProbUpperBoundSound is the filter's safety contract: for any pdf and
+// query rectangle, the slab-derived upper bound must dominate the true
+// qualification probability — from both the raw PCR boxes (U-PCR entries)
+// and the fitted CFB pair (U-tree entries, whose repair steps the bound
+// must survive).
+func TestProbUpperBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, m := range []int{2, 5, 10} {
+		cat := UniformCatalog(m)
+		for pi, p := range boundTestPDFs() {
+			pcrs := Compute(p, cat, nil)
+			out := FitOut(pcrs)
+			in := FitIn(pcrs)
+			mbr := p.MBR()
+			for q := 0; q < 300; q++ {
+				// Mix rects straddling the support with far-away ones.
+				cx := mbr.Lo[0] + (rng.Float64()*3-1)*mbr.Side(0)
+				cy := mbr.Lo[1] + (rng.Float64()*3-1)*mbr.Side(1)
+				w := rng.Float64() * 2 * mbr.Side(0)
+				h := rng.Float64() * 2 * mbr.Side(1)
+				rq := geom.NewRect(geom.Point{cx, cy}, geom.Point{cx + w, cy + h})
+				exact := p.(exactProber).ExactProb(rq)
+				const eps = 1e-9
+				if ub := ProbUpperBoundPCR(pcrs, rq); ub+eps < exact {
+					t.Fatalf("m=%d pdf=%d: PCR bound %.6f < exact %.6f for rq=%v", m, pi, ub, exact, rq)
+				}
+				if ub := ProbUpperBoundCFB(out, in, cat, rq); ub+eps < exact {
+					t.Fatalf("m=%d pdf=%d: CFB bound %.6f < exact %.6f for rq=%v", m, pi, ub, exact, rq)
+				}
+			}
+		}
+	}
+}
+
+// TestProbUpperBoundBites checks the bound is not vacuous: a query rect
+// covering only a thin edge sliver of a uniform support must get a bound
+// well below 1, and a rect strictly left of the p_1 quantile must be
+// bounded by p_1 itself.
+func TestProbUpperBoundBites(t *testing.T) {
+	cat := UniformCatalog(6) // p values 0, 0.1, ..., 0.5
+	p := updf.NewUniformRect(geom.NewRect(geom.Point{0, 0}, geom.Point{100, 100}))
+	pcrs := Compute(p, cat, nil)
+	out := FitOut(pcrs)
+	in := FitIn(pcrs)
+
+	// Thin left sliver: true mass 5%, so a sound-but-useful bound must be
+	// far under 0.5 (the slab at p=0.1 already excludes it).
+	sliver := geom.NewRect(geom.Point{0, 0}, geom.Point{5, 100})
+	if ub := ProbUpperBoundPCR(pcrs, sliver); ub > 0.2 {
+		t.Fatalf("PCR bound %.3f too loose for 5%% sliver", ub)
+	}
+	if ub := ProbUpperBoundCFB(out, in, cat, sliver); ub > 0.2 {
+		t.Fatalf("CFB bound %.3f too loose for 5%% sliver", ub)
+	}
+
+	// Disjoint rect: bound must collapse to ~0 (the p_1 = 0 slab).
+	far := geom.NewRect(geom.Point{500, 500}, geom.Point{600, 600})
+	if ub := ProbUpperBoundPCR(pcrs, far); ub > 1e-6 {
+		t.Fatalf("PCR bound %.6f for disjoint rect, want ~0", ub)
+	}
+}

@@ -111,6 +111,14 @@ func (c *ConcurrentTree) Delete(id int64) error {
 	return c.tree.Delete(id)
 }
 
+// DeleteWithRegion removes an object by ID and its region MBR (writer
+// lock; see Tree.DeleteWithRegion for the session-tracking rationale).
+func (c *ConcurrentTree) DeleteWithRegion(id int64, regionMBR Rect) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.DeleteWithRegion(id, regionMBR)
+}
+
 // WriteBatch runs fn under the writer lock and commits its mutations as
 // ONE epoch: concurrent readers — who pin snapshots without the lock —
 // observe either none of the batch or all of it, never a prefix. See
@@ -173,6 +181,16 @@ func (c *ConcurrentTree) NodeCacheStats() (hits, misses int64) {
 
 // Epoch returns the last committed epoch number.
 func (c *ConcurrentTree) Epoch() uint64 { return c.tree.Epoch() }
+
+// PlannerInfo reports the adaptive planner's diagnostics (see
+// Tree.PlannerInfo).
+func (c *ConcurrentTree) PlannerInfo() PlannerInfo { return c.tree.PlannerInfo() }
+
+// PredictSearchIO predicts a Search's node accesses without executing it
+// (see Tree.PredictSearchIO).
+func (c *ConcurrentTree) PredictSearchIO(rect Rect, prob float64) (float64, bool) {
+	return c.tree.PredictSearchIO(rect, prob)
+}
 
 // GCStats reports the epoch collector's state (committed epoch, live
 // snapshot pins, pages awaiting reclamation).

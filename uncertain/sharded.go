@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // ShardedTree partitions the object set across K independent
@@ -31,8 +33,30 @@ import (
 // data. Search results are returned sorted by ID (the merge order), and
 // with Config.ExactRefinement they are identical — probabilities included
 // — to a single tree over the same objects, whatever the shard count.
+//
+// NewSpatialShardedTree routes by location instead, giving the shards
+// (mostly) disjoint root MBRs; combined with Config.AdaptivePlanning the
+// scatter-gather then skips shards whose committed root box cannot
+// intersect the query — see Search and NearestNeighbors.
 type ShardedTree struct {
 	shards []*ConcurrentTree
+
+	// adaptive turns the scatter-gather into a planned fan-out: Search
+	// prunes shards by their committed root MBR, NearestNeighbors visits
+	// shards in ascending min-distance order under a shared k-th-distance
+	// bound. Both prune only provably non-contributing shards, so results
+	// stay identical to the full fan-out.
+	adaptive bool
+
+	// Spatial routing state (NewSpatialShardedTree). Objects are routed by
+	// their pdf-MBR center into equal slabs of domain along dimension 0
+	// rather than by ID hash, so the per-shard root MBRs are prunable.
+	// routes remembers each live object's shard for Delete-by-ID — the
+	// sharded analogue of Tree's session-lifetime ID tracking.
+	spatial  bool
+	domain   Rect
+	routesMu sync.Mutex
+	routes   map[int64]int
 }
 
 // NewShardedTree creates an index with the given shard count. Every shard
@@ -42,7 +66,7 @@ func NewShardedTree(shards int, cfg Config) (*ShardedTree, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("uncertain: shard count %d, need ≥ 1", shards)
 	}
-	s := &ShardedTree{shards: make([]*ConcurrentTree, shards)}
+	s := &ShardedTree{shards: make([]*ConcurrentTree, shards), adaptive: cfg.AdaptivePlanning}
 	for i := range s.shards {
 		scfg := cfg
 		if cfg.Path != "" {
@@ -60,8 +84,51 @@ func NewShardedTree(shards int, cfg Config) (*ShardedTree, error) {
 	return s, nil
 }
 
+// NewSpatialShardedTree creates an index whose shards partition the data
+// domain into equal slabs along dimension 0 (objects are routed by their
+// pdf-MBR center; objects outside the domain land in the nearest edge
+// slab). Spatial sharding makes the per-shard root MBRs disjoint-ish,
+// which is what gives Config.AdaptivePlanning's shard pruning its teeth —
+// under ID-hash sharding every shard covers the whole domain and no query
+// can skip any of them.
+//
+// Because the shard is no longer derivable from the ID alone, Delete by
+// bare ID only works for objects inserted (or bulk-loaded) through this
+// handle during its lifetime; other objects need DeleteWithRegion, the
+// same contract Tree has for reopened files.
+func NewSpatialShardedTree(shards int, cfg Config, domain Rect) (*ShardedTree, error) {
+	if !domain.IsValid() || domain.Side(0) <= 0 {
+		return nil, fmt.Errorf("uncertain: spatial sharding needs a valid domain with positive extent on dimension 0, got %v", domain)
+	}
+	s, err := NewShardedTree(shards, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.spatial = true
+	s.domain = domain.Clone()
+	s.routes = make(map[int64]int)
+	return s, nil
+}
+
 // Shards returns the shard count.
 func (s *ShardedTree) Shards() int { return len(s.shards) }
+
+// spatialIndex routes a region MBR to the slab holding its center,
+// clamped to the edge slabs for out-of-domain objects.
+func (s *ShardedTree) spatialIndex(mbr Rect) int {
+	if mbr.Dim() == 0 {
+		return 0
+	}
+	c := (mbr.Lo[0] + mbr.Hi[0]) / 2
+	i := int(float64(len(s.shards)) * (c - s.domain.Lo[0]) / s.domain.Side(0))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.shards) {
+		i = len(s.shards) - 1
+	}
+	return i
+}
 
 // shardIndex routes an object ID to its shard with a splitmix64-style
 // finalizer, so dense sequential IDs still spread uniformly.
@@ -79,15 +146,62 @@ func (s *ShardedTree) shardFor(id int64) *ConcurrentTree {
 	return s.shards[s.shardIndex(id)]
 }
 
-// Insert adds an object to the shard owning its ID; only that shard's
+// Insert adds an object to the shard owning its ID (hash sharding) or the
+// slab holding its pdf-MBR center (spatial sharding); only that shard's
 // writer lock is taken.
 func (s *ShardedTree) Insert(id int64, pdf PDF) error {
-	return s.shardFor(id).Insert(id, pdf)
+	if !s.spatial {
+		return s.shardFor(id).Insert(id, pdf)
+	}
+	i := s.spatialIndex(pdf.MBR())
+	if err := s.shards[i].Insert(id, pdf); err != nil {
+		return err
+	}
+	s.routesMu.Lock()
+	s.routes[id] = i
+	s.routesMu.Unlock()
+	return nil
 }
 
-// Delete removes an object from the shard owning its ID.
+// Delete removes an object from the shard owning its ID. On a spatial
+// index the shard is looked up in the session's routing table, so only
+// objects inserted through this handle can be deleted by bare ID — others
+// need DeleteWithRegion.
 func (s *ShardedTree) Delete(id int64) error {
-	return s.shardFor(id).Delete(id)
+	if !s.spatial {
+		return s.shardFor(id).Delete(id)
+	}
+	s.routesMu.Lock()
+	i, ok := s.routes[id]
+	s.routesMu.Unlock()
+	if !ok {
+		return fmt.Errorf("uncertain: id %d not routed in this session; use DeleteWithRegion", id)
+	}
+	if err := s.shards[i].Delete(id); err != nil {
+		return err
+	}
+	s.routesMu.Lock()
+	delete(s.routes, id)
+	s.routesMu.Unlock()
+	return nil
+}
+
+// DeleteWithRegion removes an object by ID and its region MBR. It is the
+// deletion path that needs no session routing state: hash sharding
+// derives the shard from the ID, spatial sharding from the MBR's center —
+// exactly where Insert/BulkLoad placed the object.
+func (s *ShardedTree) DeleteWithRegion(id int64, regionMBR Rect) error {
+	if !s.spatial {
+		return s.shardFor(id).DeleteWithRegion(id, regionMBR)
+	}
+	i := s.spatialIndex(regionMBR)
+	if err := s.shards[i].DeleteWithRegion(id, regionMBR); err != nil {
+		return err
+	}
+	s.routesMu.Lock()
+	delete(s.routes, id)
+	s.routesMu.Unlock()
+	return nil
 }
 
 // shardOp is one buffered mutation of a sharded WriteBatch.
@@ -100,26 +214,53 @@ type shardOp struct {
 }
 
 // shardedBatch buffers a WriteBatch's mutations, routed per shard, without
-// applying anything — replay happens after fn returns successfully.
+// applying anything — replay happens after fn returns successfully. On a
+// spatial index routed tracks the batch's own pending inserts so a batch
+// can delete by bare ID an object it inserted itself.
 type shardedBatch struct {
-	s   *ShardedTree
-	ops [][]shardOp
+	s      *ShardedTree
+	ops    [][]shardOp
+	routed map[int64]int // spatial only: batch-local insert routes
 }
 
 func (b *shardedBatch) Insert(id int64, pdf PDF) error {
-	i := b.s.shardIndex(id)
+	var i int
+	if b.s.spatial {
+		i = b.s.spatialIndex(pdf.MBR())
+		b.routed[id] = i
+	} else {
+		i = b.s.shardIndex(id)
+	}
 	b.ops[i] = append(b.ops[i], shardOp{insert: true, id: id, pdf: pdf})
 	return nil
 }
 
 func (b *shardedBatch) Delete(id int64) error {
-	i := b.s.shardIndex(id)
+	var i int
+	if b.s.spatial {
+		var ok bool
+		if i, ok = b.routed[id]; !ok {
+			b.s.routesMu.Lock()
+			i, ok = b.s.routes[id]
+			b.s.routesMu.Unlock()
+			if !ok {
+				return fmt.Errorf("uncertain: id %d not routed in this session; use DeleteWithRegion", id)
+			}
+		}
+	} else {
+		i = b.s.shardIndex(id)
+	}
 	b.ops[i] = append(b.ops[i], shardOp{id: id})
 	return nil
 }
 
 func (b *shardedBatch) DeleteWithRegion(id int64, regionMBR Rect) error {
-	i := b.s.shardIndex(id)
+	var i int
+	if b.s.spatial {
+		i = b.s.spatialIndex(regionMBR)
+	} else {
+		i = b.s.shardIndex(id)
+	}
 	b.ops[i] = append(b.ops[i], shardOp{id: id, mbr: regionMBR, hasMBR: true})
 	return nil
 }
@@ -133,6 +274,9 @@ func (b *shardedBatch) DeleteWithRegion(id int64, regionMBR Rect) error {
 // zero side effects.
 func (s *ShardedTree) WriteBatch(fn func(BatchWriter) error) error {
 	b := &shardedBatch{s: s, ops: make([][]shardOp, len(s.shards))}
+	if s.spatial {
+		b.routed = make(map[int64]int)
+	}
 	if err := fn(b); err != nil {
 		return err
 	}
@@ -165,18 +309,42 @@ func (s *ShardedTree) WriteBatch(fn func(BatchWriter) error) error {
 		}(i)
 	}
 	wg.Wait()
+	if s.spatial {
+		// Replay the committed shards' share into the routing table; a
+		// failed shard rolled back its own share, so its routes stay as
+		// they were.
+		s.routesMu.Lock()
+		for i := range s.shards {
+			if errs[i] != nil {
+				continue
+			}
+			for _, op := range b.ops[i] {
+				if op.insert {
+					s.routes[op.id] = i
+				} else {
+					delete(s.routes, op.id)
+				}
+			}
+		}
+		s.routesMu.Unlock()
+	}
 	return s.firstError(errs)
 }
 
-// BulkLoad partitions the batch by ID hash and bulk-loads every shard
-// concurrently; all shards must be empty.
+// BulkLoad partitions the batch — by ID hash, or by pdf-MBR center on a
+// spatial index — and bulk-loads every shard concurrently; all shards
+// must be empty.
 func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
 	parts := make([]map[int64]PDF, len(s.shards))
 	for i := range parts {
 		parts[i] = make(map[int64]PDF, len(objects)/len(s.shards)+1)
 	}
 	for id, pdf := range objects {
-		parts[s.shardIndex(id)][id] = pdf
+		if s.spatial {
+			parts[s.spatialIndex(pdf.MBR())][id] = pdf
+		} else {
+			parts[s.shardIndex(id)][id] = pdf
+		}
 	}
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
@@ -188,6 +356,18 @@ func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
 		}(i)
 	}
 	wg.Wait()
+	if s.spatial {
+		s.routesMu.Lock()
+		for i := range parts {
+			if errs[i] != nil {
+				continue
+			}
+			for id := range parts[i] {
+				s.routes[id] = i
+			}
+		}
+		s.routesMu.Unlock()
+	}
 	return s.firstError(errs)
 }
 
@@ -210,11 +390,22 @@ func (s *ShardedTree) BulkLoad(objects map[int64]PDF) error {
 // shard failed). Per-shard page-budget exhaustion is likewise not fatal to
 // the fan-out — the shards' answers are merged and returned with
 // ErrBudgetExceeded.
+//
+// With Config.AdaptivePlanning the fan-out is planned: shards whose
+// committed root MBR (the p=0 boundary box, which contains every object
+// region in the shard) is disjoint from rect cannot contribute a result
+// and are skipped without being queried, counted in Stats.ShardsPruned.
+// The pruning is purely subtractive of provably-empty work, so the merged
+// answer is identical to the full fan-out; it only bites when the shards
+// partition space (NewSpatialShardedTree).
 func (s *ShardedTree) Search(ctx context.Context, rect Rect, prob float64, opts ...QueryOption) ([]Result, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	plan := resolveOptions(opts)
+	if s.adaptive {
+		return s.searchAdaptive(ctx, rect, prob, plan)
+	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	partRes := make([][]Result, len(s.shards))
@@ -249,16 +440,92 @@ func (s *ShardedTree) Search(ctx context.Context, rect Rect, prob float64, opts 
 	return out, stats, softErr
 }
 
+// searchAdaptive is the planned fan-out behind Search when adaptive
+// planning is on: pin every shard's latest committed epoch, prune the
+// shards whose root MBR cannot intersect rect, and scatter the query over
+// the survivors. A shard is pruned only when the check is provably sound:
+// the query itself must be valid (otherwise it is sent down so the usual
+// validation error surfaces) and the shard's cached root MBR known and of
+// matching dimensionality — an unknown (zero) MBR is never pruned on.
+func (s *ShardedTree) searchAdaptive(ctx context.Context, rect Rect, prob float64, plan core.QueryOpts) ([]Result, Stats, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	snaps := make([]*Snapshot, len(s.shards))
+	for i := range s.shards {
+		snaps[i] = s.shards[i].Snapshot()
+	}
+	defer func() {
+		for _, sn := range snaps {
+			if sn != nil {
+				sn.Close()
+			}
+		}
+	}()
+	canPrune := rect.IsValid() && prob > 0 && prob <= 1
+	pruned := 0
+	partRes := make([][]Result, len(s.shards))
+	partStats := make([]Stats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		if canPrune {
+			root := snaps[i].inner.RootMBR()
+			if root.Dim() == rect.Dim() && root.IsValid() && !root.Intersects(rect) {
+				pruned++
+				snaps[i].Close()
+				snaps[i] = nil
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partRes[i], partStats[i], errs[i] = snaps[i].inner.RangeQuery(sctx, core.Query{Rect: rect, Prob: prob}, plan)
+			if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) && !plan.AllowDegraded {
+				cancel() // first real failure stops the sibling shards
+			}
+		}(i)
+	}
+	wg.Wait()
+	softErr, err := s.gatherError(ctx, errs, plan.AllowDegraded)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var out []Result
+	var stats Stats
+	for i := range s.shards {
+		out = append(out, partRes[i]...)
+		stats.Add(partStats[i])
+	}
+	stats.ShardsPruned += pruned
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	if plan.Limit > 0 && len(out) > plan.Limit {
+		out = out[:plan.Limit]
+	}
+	return out, stats, softErr
+}
+
 // NearestNeighbors scatter-gathers an expected-distance k-NN query: each
 // shard reports its own top k concurrently, and the k-way merge keeps the
 // k globally smallest expected distances. The merge is exact — an object
 // in the global top k is necessarily in its own shard's top k. See Search
 // for the cancellation and budget fan-out semantics.
+//
+// With Config.AdaptivePlanning the shards are visited in ascending order
+// of min-distance from q to their committed root MBR: the nearest shard
+// runs first and seeds a shared k-th-distance upper bound, the rest run
+// concurrently, and any shard whose min-distance already exceeds the
+// bound is skipped (NNStats.ShardsPruned) — every object it holds has
+// expected distance at least that min-distance, so none can reach the
+// global top k. Results are identical to the full fan-out.
 func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts ...QueryOption) ([]Neighbor, NNStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	plan := resolveOptions(opts)
+	if s.adaptive {
+		return s.nnAdaptive(ctx, q, k, plan)
+	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	partRes := make([][]Neighbor, len(s.shards))
@@ -286,6 +553,99 @@ func (s *ShardedTree) NearestNeighbors(ctx context.Context, q Point, k int, opts
 		merged = append(merged, partRes[i]...)
 		stats.Add(partStats[i])
 	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].ExpectedDist != merged[b].ExpectedDist {
+			return merged[a].ExpectedDist < merged[b].ExpectedDist
+		}
+		return merged[a].ID < merged[b].ID // deterministic tie-break
+	})
+	if plan.Limit > 0 && plan.Limit < k {
+		k = plan.Limit
+	}
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, stats, softErr
+}
+
+// nnAdaptive is the cost-ranked fan-out behind NearestNeighbors when
+// adaptive planning is on. Shards are ranked by min-distance from q to
+// their committed root MBR (unknown MBRs rank first and are never
+// pruned). The nearest shard runs serially to fill the shared bound with
+// its k-th expected distance; the remaining shards then run concurrently,
+// each double-gated — skipped outright when its min-distance exceeds the
+// bound at launch, and internally cut short by the same bound inside
+// core's traversal (NNStats.BoundPruned).
+func (s *ShardedTree) nnAdaptive(ctx context.Context, q Point, k int, plan core.QueryOpts) ([]Neighbor, NNStats, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	snaps := make([]*Snapshot, len(s.shards))
+	for i := range s.shards {
+		snaps[i] = s.shards[i].Snapshot()
+	}
+	defer func() {
+		for _, sn := range snaps {
+			sn.Close()
+		}
+	}()
+	type rankedShard struct {
+		idx int
+		d   float64 // min possible expected distance of any object in the shard
+	}
+	order := make([]rankedShard, len(s.shards))
+	for i := range s.shards {
+		d := 0.0
+		if root := snaps[i].inner.RootMBR(); root.Dim() == len(q) && root.IsValid() {
+			d = core.MinDist(q, root)
+		}
+		order[i] = rankedShard{idx: i, d: d}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].d != order[b].d {
+			return order[a].d < order[b].d
+		}
+		return order[a].idx < order[b].idx
+	})
+	bound := core.NewNNBound()
+	plan.NNBound = bound
+	partRes := make([][]Neighbor, len(s.shards))
+	partStats := make([]NNStats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	pruned := 0
+	first := order[0].idx
+	partRes[first], partStats[first], errs[first] = snaps[first].inner.NearestNeighbors(sctx, q, k, plan)
+	fatalFirst := errs[first] != nil && !errors.Is(errs[first], ErrBudgetExceeded) && !plan.AllowDegraded
+	if !fatalFirst {
+		var wg sync.WaitGroup
+		for _, r := range order[1:] {
+			// Strict >: a shard tying the bound may still hold an
+			// equal-distance, smaller-ID neighbor the merge must see.
+			if r.d > bound.Load() {
+				pruned++
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				partRes[i], partStats[i], errs[i] = snaps[i].inner.NearestNeighbors(sctx, q, k, plan)
+				if errs[i] != nil && !errors.Is(errs[i], ErrBudgetExceeded) && !plan.AllowDegraded {
+					cancel()
+				}
+			}(r.idx)
+		}
+		wg.Wait()
+	}
+	softErr, err := s.gatherError(ctx, errs, plan.AllowDegraded)
+	if err != nil {
+		return nil, NNStats{}, err
+	}
+	var merged []Neighbor
+	var stats NNStats
+	for i := range s.shards {
+		merged = append(merged, partRes[i]...)
+		stats.Add(partStats[i])
+	}
+	stats.ShardsPruned += pruned
 	sort.Slice(merged, func(a, b int) bool {
 		if merged[a].ExpectedDist != merged[b].ExpectedDist {
 			return merged[a].ExpectedDist < merged[b].ExpectedDist
@@ -354,6 +714,40 @@ func (s *ShardedTree) gatherError(ctx context.Context, errs []error, allowDegrad
 		return &DegradedError{Shards: failed, Errs: failedErrs}, nil
 	}
 	return budgetErr, nil
+}
+
+// PlannerInfo merges the shards' adaptive-planner diagnostics (counters
+// sum, the calibration factor is query-weighted).
+func (s *ShardedTree) PlannerInfo() PlannerInfo {
+	var info PlannerInfo
+	for _, sh := range s.shards {
+		info.Add(sh.PlannerInfo())
+	}
+	return info
+}
+
+// PredictSearchIO sums the shards' predicted node accesses for a Search,
+// skipping shards the adaptive fan-out would prune — the engine's
+// admission-control input. ok is false when no shard has a model yet.
+func (s *ShardedTree) PredictSearchIO(rect Rect, prob float64) (float64, bool) {
+	canPrune := s.adaptive && rect.IsValid() && prob > 0 && prob <= 1
+	var sum float64
+	any := false
+	for _, sh := range s.shards {
+		if canPrune {
+			snap := sh.Snapshot()
+			root := snap.inner.RootMBR()
+			snap.Close()
+			if root.Dim() == rect.Dim() && root.IsValid() && !root.Intersects(rect) {
+				continue
+			}
+		}
+		if p, ok := sh.PredictSearchIO(rect, prob); ok {
+			sum += p
+			any = true
+		}
+	}
+	return sum, any
 }
 
 // Len sums the object counts over all shards.

@@ -189,6 +189,25 @@ type Config struct {
 	// ScrubPageBudget bounds the verifications one scrub tick performs
 	// (0 → core default). Ignored without ScrubInterval.
 	ScrubPageBudget int
+	// AdaptivePlanning enables the cost-model-driven query planner: the
+	// index keeps an analytical cost model of its committed shape, predicts
+	// each query's node accesses before descent, and picks the prefetch
+	// fan-out and speculation budget from the prediction (serial when
+	// cheap, deep pipeline when expensive). Measured accesses feed back
+	// into the model on a sliding window. On a sharded index it also
+	// enables root-MBR shard pruning and cost-ranked NN scatter-gather.
+	// Explicit per-query options always override the planner's choices;
+	// results are byte-identical with planning on or off. See PlannerInfo.
+	AdaptivePlanning bool
+	// ProbFilter enables the probabilistic candidate filter: candidates
+	// whose qualification-probability upper bound (computed from their PCR
+	// slabs) falls below the query threshold are discarded before
+	// refinement. Only provably non-qualifying candidates drop, so the
+	// result set is unchanged; under Monte-Carlo refinement the sampler
+	// stream shifts, so bit-exact reproducibility against a filter-off run
+	// is guaranteed only with ExactRefinement. Override per query with
+	// WithProbFilter.
+	ProbFilter bool
 }
 
 // Tree is a dynamic index over uncertain objects supporting probabilistic
@@ -228,6 +247,8 @@ func NewTree(cfg Config) (*Tree, error) {
 		ReclaimBudget:    cfg.ReclaimPageBudget,
 		ScrubInterval:    cfg.ScrubInterval,
 		ScrubBudget:      cfg.ScrubPageBudget,
+		AdaptivePlanning: cfg.AdaptivePlanning,
+		ProbFilter:       cfg.ProbFilter,
 	}
 	if cfg.UPCR {
 		opt.Kind = core.UPCR
@@ -547,6 +568,8 @@ func OpenTree(path string, cfg Config) (*Tree, error) {
 		ReclaimBudget:    cfg.ReclaimPageBudget,
 		ScrubInterval:    cfg.ScrubInterval,
 		ScrubBudget:      cfg.ScrubPageBudget,
+		AdaptivePlanning: cfg.AdaptivePlanning,
+		ProbFilter:       cfg.ProbFilter,
 	})
 	if err != nil {
 		fs.Close()
